@@ -1,0 +1,63 @@
+// Ablation: channel reuse (Sec IV-B1).
+//
+// "In order to reduce the overhead on the MC, we should reuse the mimic
+// channel among the communications between the same participants."  This
+// bench compares the MC request load and total session-setup latency for a
+// burst of short sessions between one pair, with and without reuse.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mic::bench;
+  constexpr int kSessions = 20;
+
+  std::printf("# Ablation: channel reuse under %d short sessions\n",
+              kSessions);
+  std::printf("%-10s %14s %16s %14s\n", "mode", "mc_requests",
+              "total_setup_ms", "mc_cpu_ms");
+
+  for (const bool reuse : {false, true}) {
+    FabricOptions options;
+    options.seed = 21;
+    Fabric fabric(options);
+    auto& simulator = fabric.simulator();
+
+    MicServer server(fabric.host(kServerHost), 7000, fabric.rng());
+    server.set_on_channel([](mic::core::MicServerChannel& channel) {
+      channel.set_on_data([](const mic::transport::ChunkView&) {});
+    });
+
+    double total_setup_ms = 0.0;
+    std::unique_ptr<MicChannel> channel;
+    for (int s = 0; s < kSessions; ++s) {
+      if (!reuse || channel == nullptr) {
+        if (channel != nullptr) {
+          channel->close();  // shutdown request to the MC
+          simulator.run_until();
+        }
+        MicChannelOptions mic_options;
+        mic_options.responder_ip = fabric.ip(kServerHost);
+        mic_options.responder_port = 7000;
+        channel = std::make_unique<MicChannel>(
+            fabric.host(kClientHost), fabric.mc(), mic_options, fabric.rng());
+        simulator.run_until();
+        total_setup_ms += mic::sim::to_millis(channel->setup_time());
+      } else {
+        channel->reacquire();  // periodic notification instead of a request
+      }
+      channel->send(mic::transport::Chunk::real(
+          std::vector<std::uint8_t>(512, 0x42)));
+      simulator.run_until();
+      if (reuse) channel->release_for_reuse();
+      simulator.run_until();
+    }
+
+    std::printf("%-10s %14llu %16.3f %14.3f\n", reuse ? "reuse" : "fresh",
+                static_cast<unsigned long long>(
+                    fabric.mc().requests_handled()),
+                total_setup_ms,
+                mic::sim::to_millis(fabric.mc().mc_cpu().busy_time()));
+  }
+  return 0;
+}

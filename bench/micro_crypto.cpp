@@ -1,0 +1,74 @@
+// Micro-benchmarks of the crypto primitives (google-benchmark).  These
+// numbers calibrate the cycles-per-byte constants in crypto/cost_model.hpp.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace mic::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::vector<std::uint8_t> key(32, 0x0b);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1500);
+
+void BM_ChaCha20(benchmark::State& state) {
+  ChaCha20::Key key{};
+  ChaCha20::Nonce nonce{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xef);
+  for (auto _ : state) {
+    ChaCha20::crypt(key, nonce, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(505)->Arg(1500)->Arg(16384);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  Aes128::Key key{};
+  Aes128::Block iv{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0x12);
+  for (auto _ : state) {
+    aes128_ctr(key, iv, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(64)->Arg(1500);
+
+void BM_DhModexp(benchmark::State& state) {
+  const auto& group = dh_group_14();
+  mic::Rng rng(9);
+  const auto priv = group.sample_private_key(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.public_key(priv));
+  }
+}
+BENCHMARK(BM_DhModexp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Micro-benchmark: flow-table lookup cost vs rule count (google-benchmark).
+// The software-switch linear TCAM scan is what the per-packet
+// switch_lookup_cycles constant models.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "switchd/flow_table.hpp"
+
+namespace {
+
+using namespace mic::switchd;
+
+FlowTable build_table(int rules, mic::Rng& rng) {
+  FlowTable table;
+  for (int i = 0; i < rules; ++i) {
+    FlowRule rule;
+    rule.priority = 100;
+    rule.match.src = mic::net::Ipv4{static_cast<std::uint32_t>(rng.next())};
+    rule.match.dst = mic::net::Ipv4{static_cast<std::uint32_t>(rng.next())};
+    rule.match.mpls = static_cast<std::uint32_t>(rng.next()) | 1;
+    rule.actions = {Output{1}};
+    table.add_rule(std::move(rule));
+  }
+  // A low-priority catch-all so lookups always hit after the scan.
+  FlowRule fallback;
+  fallback.priority = 1;
+  fallback.actions = {Output{0}};
+  table.add_rule(std::move(fallback));
+  return table;
+}
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  mic::Rng rng(7);
+  FlowTable table = build_table(static_cast<int>(state.range(0)), rng);
+  mic::net::Packet packet;
+  packet.src = mic::net::Ipv4(10, 0, 0, 1);
+  packet.dst = mic::net::Ipv4(10, 0, 0, 2);
+  packet.tcp.payload_len = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(packet, 0, packet.wire_bytes()));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FlowTableInstall(benchmark::State& state) {
+  mic::Rng rng(8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FlowTable table;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      FlowRule rule;
+      rule.priority = static_cast<std::uint16_t>(rng.below(200));
+      rule.match.mpls = static_cast<std::uint32_t>(rng.next()) | 1;
+      rule.actions = {Output{1}};
+      benchmark::DoNotOptimize(table.add_rule(std::move(rule)));
+    }
+  }
+}
+BENCHMARK(BM_FlowTableInstall)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Scalability of the MC's routing calculation (paper Sec VI-C): the claim
+// is O(|F|) per channel with near-zero overhead versus TCP.  Measures real
+// wall time of MimicController::establish for varying F, N and topology
+// size, plus teardown (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/fabric.hpp"
+
+namespace {
+
+using namespace mic;
+using core::EstablishRequest;
+using core::Fabric;
+using core::FabricOptions;
+
+void BM_EstablishByFlowCount(benchmark::State& state) {
+  Fabric fabric;
+  const int flows = static_cast<int>(state.range(0));
+  int sport = 20000;
+  for (auto _ : state) {
+    EstablishRequest request;
+    request.initiator_ip = fabric.ip(0);
+    request.responder_ip = fabric.ip(12);
+    request.responder_port = 7000;
+    request.flow_count = flows;
+    request.mn_count = 3;
+    for (int f = 0; f < flows; ++f) {
+      request.initiator_sports.push_back(static_cast<net::L4Port>(sport++));
+      if (sport > 64000) sport = 20000;
+    }
+    const auto result = fabric.mc().establish(request);
+    benchmark::DoNotOptimize(result.ok);
+    state.PauseTiming();
+    fabric.mc().teardown(result.channel);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_EstablishByFlowCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EstablishByMnCount(benchmark::State& state) {
+  Fabric fabric;
+  const int mn_count = static_cast<int>(state.range(0));
+  int sport = 20000;
+  for (auto _ : state) {
+    EstablishRequest request;
+    request.initiator_ip = fabric.ip(0);
+    request.responder_ip = fabric.ip(12);
+    request.responder_port = 7000;
+    request.flow_count = 1;
+    request.mn_count = mn_count;
+    request.initiator_sports = {static_cast<net::L4Port>(sport++)};
+    if (sport > 64000) sport = 20000;
+    const auto result = fabric.mc().establish(request);
+    benchmark::DoNotOptimize(result.ok);
+    state.PauseTiming();
+    fabric.mc().teardown(result.channel);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_EstablishByMnCount)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_EstablishByTopologySize(benchmark::State& state) {
+  FabricOptions options;
+  options.k = static_cast<int>(state.range(0));
+  Fabric fabric(options);
+  const std::size_t last = fabric.host_count() - 1;
+  int sport = 20000;
+  for (auto _ : state) {
+    EstablishRequest request;
+    request.initiator_ip = fabric.ip(0);
+    request.responder_ip = fabric.ip(last);
+    request.responder_port = 7000;
+    request.flow_count = 1;
+    request.mn_count = 3;
+    request.initiator_sports = {static_cast<net::L4Port>(sport++)};
+    if (sport > 64000) sport = 20000;
+    const auto result = fabric.mc().establish(request);
+    benchmark::DoNotOptimize(result.ok);
+    state.PauseTiming();
+    fabric.mc().teardown(result.channel);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_EstablishByTopologySize)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_AllPairsPathsInit(benchmark::State& state) {
+  // The one-time cost at MC start ("calculates all-pairs equal-cost
+  // shortest paths when initiation").
+  topo::FatTree ft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    topo::AllPairsPaths paths(ft.graph());
+    benchmark::DoNotOptimize(paths.distance(ft.hosts()[0], ft.hosts()[1]));
+  }
+}
+BENCHMARK(BM_AllPairsPathsInit)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Adversary demonstration: reproduces the paper's security analysis
+// (Sec V) as a live experiment.  An attacker compromises switches at
+// different positions along a mimic channel and we print exactly what each
+// vantage can and cannot learn -- then turn on the two traffic-analysis
+// countermeasures and watch the attacks degrade.
+#include <cstdio>
+
+#include "anonymity/attacks.hpp"
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+
+using namespace mic;
+
+namespace {
+
+void report(const char* where, const anonymity::ExposureReport& exposure) {
+  std::printf("  %-28s saw initiator: %-3s  saw responder: %-3s  linked: %s\n",
+              where, exposure.saw_initiator ? "YES" : "no",
+              exposure.saw_responder ? "YES" : "no",
+              exposure.linked ? "YES (broken!)" : "no");
+}
+
+}  // namespace
+
+int main() {
+  core::Fabric fabric;
+  auto& alice = fabric.host(0);
+  const net::Ipv4 alice_ip = alice.ip();
+  const net::Ipv4 bob_ip = fabric.ip(12);
+
+  core::MicServer server(fabric.host(12), 7000, fabric.rng());
+  server.set_on_channel([](core::MicServerChannel& channel) {
+    channel.set_on_data([](const transport::ChunkView&) {});
+  });
+
+  // ----- phase 1: who sees what along the path ------------------------------
+  core::MicChannelOptions options;
+  options.responder_ip = bob_ip;
+  options.responder_port = 7000;
+  options.mn_count = 3;
+  core::MicChannel channel(alice, fabric.mc(), options, fabric.rng());
+  fabric.simulator().run_until();
+
+  const auto* state = fabric.mc().channel(channel.id());
+  const auto& plan = state->flows[0];
+
+  // Compromise three switches: before the first MN (the initiator's edge if
+  // it is not itself an MN -- the first MN otherwise), a middle MN, and the
+  // last MN.
+  anonymity::Observer first, middle, last;
+  first.compromise_switch(fabric.network(), plan.path[plan.mn_positions[0]]);
+  middle.compromise_switch(fabric.network(), plan.path[plan.mn_positions[1]]);
+  last.compromise_switch(fabric.network(), plan.path[plan.mn_positions[2]]);
+
+  channel.send(transport::Chunk::virtual_bytes(256 * 1024));
+  fabric.simulator().run_until();
+
+  std::printf("adversary compromises one switch at a time (Sec V):\n");
+  report("first MN (near initiator):",
+         anonymity::endpoint_exposure(first.records(), alice_ip, bob_ip));
+  report("middle MN:",
+         anonymity::endpoint_exposure(middle.records(), alice_ip, bob_ip));
+  report("last MN (near responder):",
+         anonymity::endpoint_exposure(last.records(), alice_ip, bob_ip));
+  std::printf("  -> no single vantage links Alice and Bob.\n\n");
+
+  // ----- phase 2: the correlation attack and partial multicast ---------------
+  std::printf("ingress/egress correlation at the first MN:\n");
+  {
+    const auto attack =
+        anonymity::correlate_at_switch(first, sim::milliseconds(10));
+    std::printf("  decoys=0: expected success %.2f (%.1f candidates per "
+                "packet)\n",
+                attack.expected_success, attack.mean_candidates);
+  }
+  {
+    // Same channel shape, but with the partially-multicast mechanism on.
+    core::Fabric fabric2;
+    core::MicServer server2(fabric2.host(12), 7000, fabric2.rng());
+    server2.set_on_channel([](core::MicServerChannel& ch) {
+      ch.set_on_data([](const transport::ChunkView&) {});
+    });
+    core::MicChannelOptions opt2 = options;
+    opt2.multicast_decoys = 2;
+    core::MicChannel ch2(fabric2.host(0), fabric2.mc(), opt2, fabric2.rng());
+    fabric2.simulator().run_until();
+    const auto& plan2 = fabric2.mc().channel(ch2.id())->flows[0];
+    anonymity::Observer observer2;
+    observer2.compromise_switch(fabric2.network(),
+                                plan2.path[plan2.mn_positions[0]]);
+    ch2.send(transport::Chunk::virtual_bytes(256 * 1024));
+    fabric2.simulator().run_until();
+    const auto attack =
+        anonymity::correlate_at_switch(observer2, sim::milliseconds(10));
+    std::printf("  decoys=2: expected success %.2f (%.1f candidates per "
+                "packet)\n",
+                attack.expected_success, attack.mean_candidates);
+  }
+
+  // ----- phase 3: size-based analysis and multiple m-flows -------------------
+  std::printf("\nsize-based traffic analysis (observe one m-flow):\n");
+  for (const int flows : {1, 4}) {
+    core::Fabric fabric3;
+    core::MicServer server3(fabric3.host(12), 7000, fabric3.rng());
+    server3.set_on_channel([](core::MicServerChannel& ch) {
+      ch.set_on_data([](const transport::ChunkView&) {});
+    });
+    core::MicChannelOptions opt3 = options;
+    opt3.flow_count = flows;
+    core::MicChannel ch3(fabric3.host(0), fabric3.mc(), opt3, fabric3.rng());
+    fabric3.simulator().run_until();
+    const auto& plan3 = fabric3.mc().channel(ch3.id())->flows[0];
+    anonymity::Observer observer3;
+    observer3.compromise_switch(fabric3.network(),
+                                plan3.path[plan3.mn_positions[1]]);
+    constexpr std::uint64_t kBytes = 1024 * 1024;
+    ch3.send(transport::Chunk::virtual_bytes(kBytes));
+    fabric3.simulator().run_until();
+    const auto seen = anonymity::observed_payload_bytes(
+        observer3.ingress(), plan3.forward[1].src, plan3.forward[1].dst);
+    std::printf("  F=%d: adversary estimates %.0f%% of the real channel "
+                "size\n",
+                flows, 100.0 * static_cast<double>(seen) / kBytes);
+  }
+  std::printf("\nwith F>1, per-flow observation no longer reveals the "
+              "channel's traffic volume.\n");
+  return 0;
+}

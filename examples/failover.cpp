@@ -1,0 +1,89 @@
+// Failover: the Mimic Controller re-routes live mimic channels around a
+// link failure without the endpoints noticing -- the SDN dividend of the
+// in-network design (an overlay system would have to rebuild its circuits
+// end-to-end).
+#include <cstdio>
+
+#include "core/collision_audit.hpp"
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+
+using namespace mic;
+
+namespace {
+
+void print_path(const char* label, const core::MFlowPlan& plan) {
+  std::printf("%s", label);
+  for (const topo::NodeId node : plan.path) std::printf(" %u", node);
+  std::printf("   (MNs at");
+  for (const std::size_t pos : plan.mn_positions) {
+    std::printf(" %u", plan.path[pos]);
+  }
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main() {
+  core::Fabric fabric;
+  auto& simulator = fabric.simulator();
+
+  core::MicServer server(fabric.host(12), 7000, fabric.rng());
+  std::uint64_t received = 0;
+  server.set_on_channel([&](core::MicServerChannel& channel) {
+    channel.set_on_data([&](const transport::ChunkView& view) {
+      received += view.length;
+    });
+  });
+
+  core::MicChannelOptions options;
+  options.responder_ip = fabric.ip(12);
+  options.responder_port = 7000;
+  core::MicChannel channel(fabric.host(0), fabric.mc(), options,
+                           fabric.rng());
+  simulator.run_until();
+
+  const auto& plan_before = fabric.mc().channel(channel.id())->flows[0];
+  print_path("route before failure:", plan_before);
+
+  // Start a 8 MB transfer, then cut a link in the middle of the path while
+  // it is in flight.
+  constexpr std::uint64_t kBytes = 8ull * 1024 * 1024;
+  channel.send(transport::Chunk::virtual_bytes(kBytes));
+  simulator.run_until(simulator.now() + sim::milliseconds(10));
+  std::printf("\n10 ms in: %llu / %llu bytes delivered\n",
+              static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(kBytes));
+
+  const std::size_t mid = plan_before.path.size() / 2;
+  const topo::LinkId victim = fabric.network().graph().link_between(
+      plan_before.path[mid], plan_before.path[mid + 1]);
+  fabric.network().set_link_up(victim, false);
+  std::printf("cutting link %u (between switches %u and %u)...\n", victim,
+              plan_before.path[mid], plan_before.path[mid + 1]);
+
+  const auto failure_at = simulator.now();
+  const auto outcome = fabric.mc().fail_link(victim);
+  std::printf("MC repair: %zu channel(s) re-routed, %zu lost\n",
+              outcome.repaired, outcome.lost);
+
+  simulator.run_until();
+  const auto& plan_after = fabric.mc().channel(channel.id())->flows[0];
+  print_path("route after repair:  ", plan_after);
+
+  std::printf("\ntransfer completed: %llu bytes "
+              "(%.1f ms total, repair downtime absorbed by TCP)\n",
+              static_cast<unsigned long long>(received),
+              sim::to_millis(simulator.now()));
+  std::printf("entry address unchanged: %s:%u -- the initiator's socket "
+              "never noticed\n",
+              plan_after.forward[0].dst.str().c_str(),
+              plan_after.forward[0].dport);
+  std::printf("time from failure to completion: %.1f ms\n",
+              sim::to_millis(simulator.now() - failure_at));
+
+  const auto audit = core::audit_collisions(fabric.mc());
+  std::printf("collision audit after repair: %s\n",
+              audit.ok ? "CLEAN" : "VIOLATIONS");
+  return audit.ok && received == kBytes ? 0 : 1;
+}

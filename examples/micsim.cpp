@@ -1,0 +1,348 @@
+// micsim: command-line scenario driver for the MIC simulator.
+//
+//   micsim [--system tcp|ssl|mic|mic-ssl|tor] [--flows N] [--bytes N[kmg]]
+//          [--mns N] [--stripe F] [--decoys K] [--k K] [--seed S]
+//          [--fail-link] [--loss P] [--ping N] [--verbose]
+//
+// Runs one measurement scenario on a k-ary fat-tree and prints setup time,
+// goodput, latency and CPU cost -- the same metrics as the paper's
+// evaluation, but for any parameter combination.  `--fail-link` cuts a
+// link on the (first) channel's path mid-transfer and lets the MC repair
+// it; `--loss` injects random loss on every link.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+#include "core/collision_audit.hpp"
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+#include "net/trace.hpp"
+#include "tor/client.hpp"
+#include "tor/relay.hpp"
+#include "transport/apps.hpp"
+#include "transport/ssl.hpp"
+
+using namespace mic;
+
+namespace {
+
+struct Args {
+  std::string system = "mic";
+  int flows = 1;           // concurrent sessions
+  std::uint64_t bytes = 8ull << 20;
+  int mns = 3;             // MIC route length / Tor relays
+  int stripe = 1;          // MIC m-flows per channel
+  int decoys = 0;
+  int k = 4;
+  std::uint64_t seed = 42;
+  bool fail_link = false;
+  double loss = 0.0;
+  int ping = 0;
+  bool verbose = false;
+  std::string trace_path;
+};
+
+std::uint64_t parse_bytes(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  switch (*end) {
+    case 'k': case 'K': return static_cast<std::uint64_t>(v * 1024);
+    case 'm': case 'M': return static_cast<std::uint64_t>(v * 1024 * 1024);
+    case 'g': case 'G': return static_cast<std::uint64_t>(v * 1024 * 1024 * 1024);
+    default: return static_cast<std::uint64_t>(v);
+  }
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--system") {
+      const char* v = next();
+      if (!v) return false;
+      args.system = v;
+    } else if (flag == "--flows") {
+      const char* v = next();
+      if (!v) return false;
+      args.flows = std::atoi(v);
+    } else if (flag == "--bytes") {
+      const char* v = next();
+      if (!v) return false;
+      args.bytes = parse_bytes(v);
+    } else if (flag == "--mns") {
+      const char* v = next();
+      if (!v) return false;
+      args.mns = std::atoi(v);
+    } else if (flag == "--stripe") {
+      const char* v = next();
+      if (!v) return false;
+      args.stripe = std::atoi(v);
+    } else if (flag == "--decoys") {
+      const char* v = next();
+      if (!v) return false;
+      args.decoys = std::atoi(v);
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      args.k = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--loss") {
+      const char* v = next();
+      if (!v) return false;
+      args.loss = std::atof(v);
+    } else if (flag == "--ping") {
+      const char* v = next();
+      if (!v) return false;
+      args.ping = std::atoi(v);
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args.trace_path = v;
+    } else if (flag == "--fail-link") {
+      args.fail_link = true;
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: micsim [--system tcp|ssl|mic|mic-ssl|tor] [--flows N]\n"
+      "              [--bytes N[kmg]] [--mns N] [--stripe F] [--decoys K]\n"
+      "              [--k K] [--seed S] [--fail-link] [--loss P] [--ping N]\n"
+      "              [--trace FILE] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  const bool is_mic = args.system == "mic" || args.system == "mic-ssl";
+  const bool is_tor = args.system == "tor";
+  const bool use_ssl = args.system == "ssl" || args.system == "mic-ssl";
+  if (!is_mic && !is_tor && args.system != "tcp" && args.system != "ssl") {
+    usage();
+    return 2;
+  }
+
+  core::FabricOptions options;
+  options.k = args.k;
+  options.seed = args.seed;
+  options.link.random_drop_probability = args.loss;
+  core::Fabric fabric(options);
+  auto& simulator = fabric.simulator();
+  if (args.verbose) mic::set_log_level(mic::LogLevel::kInfo);
+
+  std::unique_ptr<net::TraceWriter> trace;
+  if (!args.trace_path.empty()) {
+    trace = std::make_unique<net::TraceWriter>(fabric.network(),
+                                               args.trace_path);
+  }
+
+  const std::size_t n_hosts = fabric.host_count();
+  std::vector<std::unique_ptr<tor::TorRelay>> relays;
+  std::vector<tor::RelayAddr> relay_path;
+  if (is_tor) {
+    // Relays live on the upper first-half hosts, clients on the lower ones
+    // and servers in the second half, so roles never share a machine.
+    for (int i = 0; i < args.mns; ++i) {
+      const std::size_t host = n_hosts / 4 + static_cast<std::size_t>(i);
+      relays.push_back(std::make_unique<tor::TorRelay>(fabric.host(host),
+                                                       9001, fabric.rng()));
+      relay_path.push_back({fabric.ip(host), 9001});
+    }
+  }
+
+  std::vector<std::unique_ptr<core::MicServer>> mic_servers;
+  std::vector<std::unique_ptr<core::MicChannel>> mic_channels;
+  std::vector<std::unique_ptr<tor::TorClient>> tor_clients;
+  std::vector<std::unique_ptr<transport::SslSession>> ssl_sessions;
+  std::vector<std::unique_ptr<transport::BulkSink>> sinks;
+  std::vector<std::unique_ptr<transport::BulkSender>> senders;
+  std::vector<std::unique_ptr<transport::PingPongServer>> echo_servers;
+  std::vector<std::unique_ptr<transport::PingPongClient>> pingers;
+
+  const std::size_t half = n_hosts / 2;
+  // With Tor, relays occupy the upper quarter of the first half; keep
+  // clients below them.
+  const std::size_t client_pool = is_tor ? n_hosts / 4 : half;
+  for (int i = 0; i < args.flows; ++i) {
+    const std::size_t ci = static_cast<std::size_t>(i) % client_pool;
+    const std::size_t si = half + (static_cast<std::size_t>(i) % half);
+    auto& client = fabric.host(ci);
+    auto& server = fabric.host(si);
+    const net::L4Port port = static_cast<net::L4Port>(5000 + i);
+
+    // Captures main-scope objects only: the callback may fire long after
+    // this loop iteration ends.
+    auto attach_apps = [&sinks, &senders, &echo_servers, &pingers,
+                        &simulator, ping = args.ping, bytes = args.bytes](
+                           transport::ByteStream& server_stream,
+                           transport::ByteStream& client_stream) {
+      if (ping > 0) {
+        echo_servers.push_back(
+            std::make_unique<transport::PingPongServer>(server_stream));
+        pingers.push_back(std::make_unique<transport::PingPongClient>(
+            client_stream, simulator, ping));
+      } else {
+        sinks.push_back(std::make_unique<transport::BulkSink>(
+            server_stream, simulator, bytes));
+        senders.push_back(std::make_unique<transport::BulkSender>(
+            client_stream, bytes));
+      }
+    };
+
+    if (is_mic) {
+      mic_servers.push_back(std::make_unique<core::MicServer>(
+          server, port, fabric.rng(), use_ssl));
+      core::MicChannelOptions mic_options;
+      mic_options.responder_ip = fabric.ip(si);
+      mic_options.responder_port = port;
+      mic_options.mn_count = args.mns;
+      mic_options.flow_count = args.stripe;
+      mic_options.multicast_decoys = args.decoys;
+      mic_options.use_ssl = use_ssl;
+      mic_channels.push_back(std::make_unique<core::MicChannel>(
+          client, fabric.mc(), mic_options, fabric.rng()));
+      auto* channel = mic_channels.back().get();
+      mic_servers.back()->set_on_channel(
+          [attach_apps, channel](core::MicServerChannel& sc) {
+            attach_apps(sc, *channel);
+          });
+    } else if (is_tor) {
+      tor_clients.push_back(std::make_unique<tor::TorClient>(
+          client, relay_path, fabric.ip(si), port, fabric.rng()));
+      tor::TorClient* tor_client = tor_clients.back().get();
+      server.listen(port,
+                    [attach_apps, tor_client](transport::TcpConnection& conn) {
+                      attach_apps(conn, *tor_client);
+                    });
+    } else {
+      server.listen(port, [&, use_ssl, srv = &server](
+                              transport::TcpConnection& conn) {
+        transport::ByteStream* server_stream = &conn;
+        if (use_ssl) {
+          ssl_sessions.push_back(std::make_unique<transport::SslSession>(
+              conn, transport::SslSession::Role::kServer, *srv, fabric.rng()));
+          server_stream = ssl_sessions.back().get();
+        }
+        // Client stream created below; bulk/ping attach on it directly.
+        if (args.ping > 0) {
+          echo_servers.push_back(
+              std::make_unique<transport::PingPongServer>(*server_stream));
+        } else {
+          sinks.push_back(std::make_unique<transport::BulkSink>(
+              *server_stream, simulator, args.bytes));
+        }
+      });
+      auto& conn = client.connect(fabric.ip(si), port);
+      transport::ByteStream* client_stream = &conn;
+      if (use_ssl) {
+        ssl_sessions.push_back(std::make_unique<transport::SslSession>(
+            conn, transport::SslSession::Role::kClient, client, fabric.rng()));
+        client_stream = ssl_sessions.back().get();
+      }
+      if (args.ping > 0) {
+        pingers.push_back(std::make_unique<transport::PingPongClient>(
+            *client_stream, simulator, args.ping));
+      } else {
+        senders.push_back(std::make_unique<transport::BulkSender>(
+            *client_stream, args.bytes));
+      }
+    }
+  }
+
+  // Optional mid-transfer failure on the first MIC channel's path.
+  if (args.fail_link) {
+    if (!is_mic) {
+      std::fprintf(stderr, "--fail-link requires --system mic|mic-ssl\n");
+      return 2;
+    }
+    simulator.run_until(simulator.now() + sim::milliseconds(10));
+    const auto* state = fabric.mc().channel(mic_channels.front()->id());
+    if (state != nullptr) {
+      const auto& path = state->flows[0].path;
+      const topo::LinkId victim = fabric.network().graph().link_between(
+          path[path.size() / 2], path[path.size() / 2 + 1]);
+      fabric.network().set_link_up(victim, false);
+      const auto outcome = fabric.mc().fail_link(victim);
+      std::printf("injected failure on link %u: repaired=%zu lost=%zu\n",
+                  victim, outcome.repaired, outcome.lost);
+    }
+  }
+
+  simulator.run_until();
+
+  // --- report -------------------------------------------------------------------
+  std::printf("system=%s k=%d flows=%d seed=%llu", args.system.c_str(),
+              args.k, args.flows,
+              static_cast<unsigned long long>(args.seed));
+  if (is_mic) {
+    std::printf(" mns=%d stripe=%d decoys=%d", args.mns, args.stripe,
+                args.decoys);
+  }
+  if (is_tor) std::printf(" relays=%d", args.mns);
+  if (args.loss > 0) std::printf(" loss=%.3f", args.loss);
+  std::printf("\n");
+
+  if (args.ping > 0) {
+    double sum = 0;
+    for (const auto& ping : pingers) sum += ping->mean_rtt_us();
+    std::printf("mean RTT: %.1f us over %d rounds x %d flows\n",
+                sum / static_cast<double>(pingers.size()), args.ping,
+                args.flows);
+  } else {
+    int done = 0;
+    double mbps = 0;
+    for (const auto& sink : sinks) {
+      if (sink->finished()) {
+        ++done;
+        mbps += sink->goodput_bps() / 1e6;
+      }
+    }
+    std::printf("%d/%d transfers finished; mean goodput %.1f Mb/s\n", done,
+                args.flows, done > 0 ? mbps / done : 0.0);
+  }
+  for (const auto& channel : mic_channels) {
+    if (channel->failed()) {
+      std::printf("channel error: %s\n", channel->error().c_str());
+    }
+  }
+  if (trace != nullptr) {
+    std::printf("trace: %llu packets -> %s\n",
+                static_cast<unsigned long long>(trace->entries_written()),
+                args.trace_path.c_str());
+  }
+  std::printf("simulated time: %.1f ms, drops: %llu\n",
+              sim::to_millis(simulator.now()),
+              static_cast<unsigned long long>(
+                  fabric.network().total_drops()));
+  if (is_mic) {
+    const auto audit = core::audit_collisions(fabric.mc());
+    std::printf("collision audit: %s\n", audit.ok ? "CLEAN" : "VIOLATIONS");
+    if (!audit.ok) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: open an anonymous mimic channel between two hosts of a
+// simulated fat-tree data center and exchange messages.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole MIC lifecycle: fabric bring-up, channel
+// establishment via the Mimic Controller, anonymous request/response, and
+// teardown -- and prints what each side (and the wire) actually sees.
+#include <cstdio>
+
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+
+using namespace mic;
+
+int main() {
+  // 1. Bring up the paper's testbed: a k=4 fat-tree (16 hosts, 20 SDN
+  //    switches), a Mimic Controller, and default CF-tagged routing.
+  core::Fabric fabric;
+  std::printf("fabric: %zu hosts, %zu switches\n", fabric.host_count(),
+              fabric.network().graph().switches().size());
+
+  // 2. Alice (host 0) wants to talk to Bob (host 12, another pod) without
+  //    any switch -- or Bob himself -- learning that *she* is the peer.
+  auto& alice = fabric.host(0);
+  auto& bob = fabric.host(12);
+  std::printf("alice = %s, bob = %s\n", alice.ip().str().c_str(),
+              bob.ip().str().c_str());
+
+  // 3. Bob runs a MIC server: he accepts mimic channels on port 7000.
+  core::MicServer server(bob, 7000, fabric.rng());
+  server.set_on_channel([&](core::MicServerChannel& channel) {
+    std::printf("[bob]   new mimic channel (wire id %u, %zu m-flows known)\n",
+                channel.wire_id(), channel.known_flows());
+    channel.set_on_data([&](const transport::ChunkView& view) {
+      std::printf("[bob]   received %zu bytes: \"%.*s\"\n", view.bytes.size(),
+                  static_cast<int>(view.bytes.size()),
+                  reinterpret_cast<const char*>(view.bytes.data()));
+      std::vector<std::uint8_t> reply{'p', 'o', 'n', 'g'};
+      channel.send(transport::Chunk::real(std::move(reply)));
+    });
+  });
+
+  // 4. Alice opens the channel.  The MC picks the path, selects 3 Mimic
+  //    Nodes, generates collision-free m-addresses with MAGA, installs the
+  //    rewriting rules, and hands Alice an *entry address* that stands in
+  //    for Bob.
+  core::MicChannelOptions options;
+  options.responder_ip = bob.ip();
+  options.responder_port = 7000;
+  options.mn_count = 3;
+  core::MicChannel channel(alice, fabric.mc(), options, fabric.rng());
+
+  channel.set_on_data([&](const transport::ChunkView& view) {
+    std::printf("[alice] received %zu bytes: \"%.*s\"\n", view.bytes.size(),
+                static_cast<int>(view.bytes.size()),
+                reinterpret_cast<const char*>(view.bytes.data()));
+  });
+
+  std::vector<std::uint8_t> ping{'p', 'i', 'n', 'g'};
+  channel.send(transport::Chunk::real(std::move(ping)));
+  fabric.simulator().run_until();
+
+  // 5. Inspect the plan the MC produced.
+  const auto* state = fabric.mc().channel(channel.id());
+  const auto& plan = state->flows[0];
+  std::printf("\nchannel %llu established in %.2f ms\n",
+              static_cast<unsigned long long>(channel.id()),
+              sim::to_millis(channel.setup_time()));
+  std::printf("entry address alice dials: %s:%u  (not Bob!)\n",
+              plan.forward[0].dst.str().c_str(), plan.forward[0].dport);
+  std::printf("address bob sees as peer:  %s:%u  (not Alice!)\n",
+              plan.forward.back().src.str().c_str(),
+              plan.forward.back().sport);
+  std::printf("per-hop forward addresses:\n");
+  for (std::size_t j = 0; j < plan.forward.size(); ++j) {
+    const auto& hop = plan.forward[j];
+    std::printf("  segment %zu: %s:%u -> %s:%u  mpls=0x%08x\n", j,
+                hop.src.str().c_str(), hop.sport, hop.dst.str().c_str(),
+                hop.dport, hop.mpls);
+  }
+
+  // 6. Tear down: rules are removed, the m-flow ID and addresses recycled.
+  channel.close();
+  fabric.simulator().run_until();
+  std::printf("\nchannel closed; MC now tracks %zu channels\n",
+              fabric.mc().active_channel_count());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// A realistic workload: a small distributed-storage cluster whose control
+// traffic runs over MIC while bulk data uses common flows.
+//
+// The paper's introduction motivates exactly this split: traffic-analysis
+// of a storage system's control plane reveals the metadata servers (the
+// DoS targets); MIC hides who talks to them, while the heavy chunk traffic
+// stays on ordinary (cheap) routing.  This example runs both kinds of
+// traffic concurrently, verifies the cluster works, and shows the rule
+// audit stays clean under the mixed load.
+#include <cstdio>
+#include <string>
+
+#include "core/collision_audit.hpp"
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+#include "transport/apps.hpp"
+
+using namespace mic;
+
+int main() {
+  core::Fabric fabric;
+
+  // Cluster layout: metadata server on host 10 (hidden service), three
+  // chunkservers on hosts 11, 12 and 13, four clients on hosts 0-3.
+  constexpr std::size_t kMds = 10;
+  const std::size_t chunkservers[] = {11, 12, 13};
+
+  // --- metadata server: a MIC hidden service -----------------------------------
+  core::MicServer mds_server(fabric.host(kMds), 7000, fabric.rng());
+  int lookups = 0;
+  mds_server.set_on_channel([&](core::MicServerChannel& channel) {
+    channel.set_on_data([&](const transport::ChunkView& view) {
+      ++lookups;
+      const std::string req(view.bytes.begin(), view.bytes.end());
+      // Answer with a chunkserver assignment (round robin).
+      const std::string reply =
+          "chunkserver=" + std::to_string(11 + lookups % 3);
+      channel.send(transport::Chunk::real(
+          std::vector<std::uint8_t>(reply.begin(), reply.end())));
+    });
+  });
+  fabric.mc().register_hidden_service("mds", fabric.host(kMds).ip(), 7000);
+
+  // --- chunkservers: plain TCP bulk sinks ---------------------------------------
+  constexpr std::uint64_t kChunkBytes = 4 * 1024 * 1024;
+  std::vector<std::unique_ptr<transport::BulkSink>> sinks;
+  for (const std::size_t cs : chunkservers) {
+    fabric.host(cs).listen(9100, [&](transport::TcpConnection& conn) {
+      sinks.push_back(std::make_unique<transport::BulkSink>(
+          conn, fabric.simulator(), kChunkBytes));
+    });
+  }
+
+  // --- clients: anonymous metadata lookup, then a bulk write --------------------
+  struct Client {
+    std::unique_ptr<core::MicChannel> channel;
+    std::string assignment;
+    bool wrote = false;
+  };
+  std::vector<Client> clients(4);
+
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    auto& host = fabric.host(c);
+    core::MicChannelOptions options;
+    options.service_name = "mds";
+    options.flow_count = 2;  // stripe the control traffic over two m-flows
+    clients[c].channel = std::make_unique<core::MicChannel>(
+        host, fabric.mc(), options, fabric.rng());
+    Client* client = &clients[c];
+    auto* channel = client->channel.get();
+    channel->set_on_data([&fabric, &host, client,
+                          c](const transport::ChunkView& view) {
+      client->assignment.append(view.bytes.begin(), view.bytes.end());
+      if (!client->wrote && client->assignment.size() >= 14) {
+        client->wrote = true;
+        // Parse "chunkserver=NN" and push a chunk over a *common* flow.
+        const int cs = std::stoi(client->assignment.substr(12));
+        std::printf("[client %zu] MDS assigned chunkserver %d; writing %llu "
+                    "MB over a common flow\n",
+                    c, cs,
+                    static_cast<unsigned long long>(kChunkBytes >> 20));
+        auto& conn = host.connect(
+            fabric.ip(static_cast<std::size_t>(cs)), 9100);
+        conn.set_on_ready([&conn] {
+          conn.send(transport::Chunk::virtual_bytes(kChunkBytes));
+        });
+      }
+    });
+    const std::string lookup = "create /tbl/part-" + std::to_string(c);
+    channel->send(transport::Chunk::real(
+        std::vector<std::uint8_t>(lookup.begin(), lookup.end())));
+  }
+
+  fabric.simulator().run_until();
+
+  // --- results -------------------------------------------------------------------
+  std::printf("\nmetadata lookups served anonymously: %d\n", lookups);
+  std::uint64_t stored = 0;
+  for (const auto& sink : sinks) {
+    if (sink->finished()) stored += sink->received();
+  }
+  std::printf("chunk bytes stored over common flows:  %llu (%.0f MB)\n",
+              static_cast<unsigned long long>(stored),
+              static_cast<double>(stored) / (1024.0 * 1024.0));
+
+  const auto audit = core::audit_collisions(fabric.mc());
+  std::printf("collision audit over the mixed rule set: %s "
+              "(%zu rules, %zu m-flow rules)\n",
+              audit.ok ? "CLEAN" : "VIOLATIONS", audit.rules_checked,
+              audit.mflow_rules);
+
+  std::printf("\nthe MDS location never appeared on any client's wire; "
+              "bulk data paid zero anonymity overhead.\n");
+  return audit.ok && lookups == 4 ? 0 : 1;
+}

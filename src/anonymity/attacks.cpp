@@ -1,0 +1,114 @@
+#include "anonymity/attacks.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace mic::anonymity {
+
+ExposureReport endpoint_exposure(const std::vector<PacketRecord>& records,
+                                 net::Ipv4 initiator, net::Ipv4 responder) {
+  ExposureReport report;
+  for (const auto& record : records) {
+    const bool has_initiator =
+        record.src == initiator || record.dst == initiator;
+    const bool has_responder =
+        record.src == responder || record.dst == responder;
+    report.saw_initiator |= has_initiator;
+    report.saw_responder |= has_responder;
+    report.linked |= has_initiator && has_responder;
+  }
+  return report;
+}
+
+CorrelationReport correlate_at_switch(const Observer& observer,
+                                      sim::SimTime window) {
+  CorrelationReport report;
+  const auto ingress = observer.ingress();
+  const auto egress = observer.egress();
+
+  // Index egress packets by payload fingerprint.
+  std::unordered_map<std::uint64_t, std::vector<const PacketRecord*>> by_tag;
+  for (const auto& record : egress) {
+    if (record.payload_bytes > 0) by_tag[record.content_tag].push_back(&record);
+  }
+
+  double candidate_sum = 0.0;
+  double success_sum = 0.0;
+  for (const auto& record : ingress) {
+    if (record.payload_bytes == 0) continue;
+    ++report.ingress_packets;
+    const auto it = by_tag.find(record.content_tag);
+    if (it == by_tag.end()) continue;
+    std::size_t candidates = 0;
+    for (const PacketRecord* out : it->second) {
+      if (out->time >= record.time && out->time - record.time <= window) {
+        ++candidates;
+      }
+    }
+    if (candidates == 0) continue;
+    ++report.matched_packets;
+    candidate_sum += static_cast<double>(candidates);
+    success_sum += 1.0 / static_cast<double>(candidates);
+  }
+  if (report.matched_packets > 0) {
+    report.mean_candidates =
+        candidate_sum / static_cast<double>(report.matched_packets);
+    report.expected_success =
+        success_sum / static_cast<double>(report.matched_packets);
+  }
+  return report;
+}
+
+std::uint64_t observed_payload_bytes(const std::vector<PacketRecord>& records,
+                                     net::Ipv4 src, net::Ipv4 dst) {
+  std::uint64_t bytes = 0;
+  for (const auto& record : records) {
+    if (record.src == src && record.dst == dst) bytes += record.payload_bytes;
+  }
+  return bytes;
+}
+
+EndToEndTrace global_content_trace(const std::vector<PacketRecord>& records,
+                                   std::uint64_t content_tag) {
+  EndToEndTrace trace;
+  const PacketRecord* first = nullptr;
+  const PacketRecord* last = nullptr;
+  for (const auto& record : records) {
+    if (record.content_tag != content_tag || record.payload_bytes == 0) {
+      continue;
+    }
+    ++trace.hops_seen;
+    if (first == nullptr || record.time < first->time) first = &record;
+    if (last == nullptr || record.time > last->time) last = &record;
+  }
+  if (first == nullptr || last == nullptr) return trace;
+  trace.source = first->src;
+  trace.destination = last->dst;
+  // A single sighting cannot link two endpoints; the chain must span at
+  // least an entry and an exit segment with different headers.
+  trace.linked = trace.hops_seen >= 2 &&
+                 !(first->src == last->src && first->dst == last->dst);
+  return trace;
+}
+
+double observed_rate_bps(const std::vector<PacketRecord>& records,
+                         net::Ipv4 src, net::Ipv4 dst) {
+  std::uint64_t bytes = 0;
+  sim::SimTime first = sim::kNever;
+  sim::SimTime last = 0;
+  for (const auto& record : records) {
+    if (record.src != src || record.dst != dst) continue;
+    bytes += record.payload_bytes;
+    first = std::min(first, record.time);
+    last = std::max(last, record.time);
+  }
+  if (first >= last) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / sim::to_seconds(last - first);
+}
+
+double sender_entropy_bits(bool source_visible, std::size_t candidate_count) {
+  if (source_visible || candidate_count <= 1) return 0.0;
+  return std::log2(static_cast<double>(candidate_count));
+}
+
+}  // namespace mic::anonymity

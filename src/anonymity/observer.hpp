@@ -1,0 +1,81 @@
+// Adversary vantage points (paper Sec III-B / Sec V).
+//
+// An observer records every packet on a set of links exactly as it appears
+// on the wire -- header fields after whatever rewriting has happened
+// upstream, plus the payload fingerprint (MNs never touch payloads, which
+// is what the paper's content-correlation adversary exploits).  Compromised
+// switches are modeled as observers on all links incident to the switch.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mic::anonymity {
+
+struct PacketRecord {
+  sim::SimTime time = 0;
+  topo::LinkId link = 0;
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+
+  net::Ipv4 src;
+  net::Ipv4 dst;
+  net::L4Port sport = 0;
+  net::L4Port dport = 0;
+  net::MplsLabel mpls = net::kNoMpls;
+  std::uint32_t wire_bytes = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t content_tag = 0;
+  std::uint64_t packet_id = 0;
+};
+
+class Observer {
+ public:
+  /// Tap a single link (both directions).
+  void tap_link(net::Network& network, topo::LinkId link) {
+    network.add_link_tap(link, recorder());
+  }
+
+  /// Compromise a switch: tap every incident link.  Records ingress and
+  /// egress traffic of the node, the full view of a compromised device.
+  void compromise_switch(net::Network& network, topo::NodeId sw) {
+    focus_ = sw;
+    for (const auto& adj : network.graph().neighbors(sw)) {
+      network.add_link_tap(adj.link, recorder());
+    }
+  }
+
+  const std::vector<PacketRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// For a compromised switch: packets entering / leaving it.
+  std::vector<PacketRecord> ingress() const { return filter(true); }
+  std::vector<PacketRecord> egress() const { return filter(false); }
+
+ private:
+  net::Network::Tap recorder() {
+    return [this](topo::LinkId link, topo::NodeId from, topo::NodeId to,
+                  const net::Packet& packet, sim::SimTime time) {
+      records_.push_back({time, link, from, to, packet.src, packet.dst,
+                          packet.sport, packet.dport, packet.mpls,
+                          packet.wire_bytes(), packet.payload_bytes(),
+                          packet.content_tag, packet.packet_id});
+    };
+  }
+
+  std::vector<PacketRecord> filter(bool toward_focus) const {
+    std::vector<PacketRecord> out;
+    for (const auto& record : records_) {
+      if ((record.to == focus_) == toward_focus) out.push_back(record);
+    }
+    return out;
+  }
+
+  topo::NodeId focus_ = topo::kInvalidNode;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace mic::anonymity

@@ -1,0 +1,31 @@
+// Always-on invariant checking for the MIC libraries.
+//
+// Simulation and control-plane code is full of invariants whose violation
+// means a *logic* bug (e.g. a routing collision slipping past the collision
+// avoidance mechanism), not a recoverable runtime condition.  We check them
+// unconditionally in every build type and abort with a location message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mic {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "MIC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mic
+
+#define MIC_ASSERT(expr)                                          \
+  do {                                                            \
+    if (!(expr)) ::mic::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MIC_ASSERT_MSG(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) ::mic::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

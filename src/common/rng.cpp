@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace mic {
+
+double Rng::exponential(double mean) noexcept {
+  MIC_ASSERT(mean > 0.0);
+  // -mean * ln(U) with U in (0,1]; uniform01() returns [0,1), so flip it.
+  const double u = 1.0 - uniform01();
+  return -mean * std::log(u);
+}
+
+}  // namespace mic

@@ -1,0 +1,39 @@
+#include "core/address_restrictions.hpp"
+
+namespace mic::core {
+
+AddressRestrictions::AddressRestrictions(
+    const topo::Graph& graph, const topo::AllPairsPaths& paths,
+    const ctrl::HostAddressing& addressing) {
+  const auto hosts = graph.hosts();
+
+  for (const topo::NodeId sw : graph.switches()) {
+    for (const auto& adj : graph.neighbors(sw)) {
+      PortSets sets;
+      const topo::NodeId peer = adj.peer;
+
+      for (const topo::NodeId h : hosts) {
+        const net::Ipv4 ip = addressing.ip_of(h);
+
+        // Destination plausibility: the egress lies on a shortest path
+        // toward h.
+        const bool dst_ok =
+            peer == h ||
+            (graph.is_switch(peer) &&
+             paths.distance(peer, h) + 1 == paths.distance(sw, h));
+        if (dst_ok) sets.dst.push_back(ip);
+
+        // Source plausibility: traffic from h that transits sw could
+        // continue through this port (moving away from h).
+        const bool src_ok =
+            h != peer && graph.is_switch(peer) &&
+            paths.distance(h, peer) == paths.distance(h, sw) + 1;
+        if (src_ok) sets.src.push_back(ip);
+      }
+
+      sets_.emplace(key(sw, adj.local_port), std::move(sets));
+    }
+  }
+}
+
+}  // namespace mic::core

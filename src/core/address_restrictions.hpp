@@ -1,0 +1,58 @@
+// Per-port m-address plausibility restrictions (paper Sec IV-B3, Fig. 5).
+//
+// "To avoid an adversary distinguish[ing] the m-flows and common flows by
+// observing the source/destination IP addresses, the m_src_ip and m_dst_ip
+// should [be] subject to different restrictions on different MNs": a packet
+// leaving switch S through port p must carry a source a real flow could
+// carry there (a host "behind" S relative to p) and a destination that is
+// actually routed through p.  We precompute both candidate sets for every
+// (switch, egress port) from the shortest-path structure.
+#pragma once
+
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "topology/paths.hpp"
+
+namespace mic::core {
+
+class AddressRestrictions {
+ public:
+  AddressRestrictions(const topo::Graph& graph,
+                      const topo::AllPairsPaths& paths,
+                      const ctrl::HostAddressing& addressing);
+
+  /// Host IPs a packet leaving `sw` via `port` may plausibly carry as its
+  /// source: hosts whose shortest paths continue through that port.
+  const std::vector<net::Ipv4>& allowed_src(topo::NodeId sw,
+                                            topo::PortId port) const {
+    return at(sw, port).src;
+  }
+
+  /// Host IPs a packet leaving `sw` via `port` may plausibly carry as its
+  /// destination: hosts for which `port` lies on a shortest path.
+  const std::vector<net::Ipv4>& allowed_dst(topo::NodeId sw,
+                                            topo::PortId port) const {
+    return at(sw, port).dst;
+  }
+
+ private:
+  struct PortSets {
+    std::vector<net::Ipv4> src;
+    std::vector<net::Ipv4> dst;
+  };
+
+  const PortSets& at(topo::NodeId sw, topo::PortId port) const {
+    const auto it = sets_.find(key(sw, port));
+    MIC_ASSERT_MSG(it != sets_.end(), "no restrictions for switch port");
+    return it->second;
+  }
+
+  static std::uint64_t key(topo::NodeId sw, topo::PortId port) noexcept {
+    return (static_cast<std::uint64_t>(sw) << 16) | port;
+  }
+
+  std::unordered_map<std::uint64_t, PortSets> sets_;
+};
+
+}  // namespace mic::core

@@ -1,0 +1,81 @@
+#include "core/channel.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace mic::core {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t& at) {
+  MIC_ASSERT(at + 2 <= in.size());
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(in[at]) << 8) | in[at + 1]);
+  at += 2;
+  return v;
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& at) {
+  const std::uint32_t hi = get_u16(in, at);
+  return (hi << 16) | get_u16(in, at);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_request(const EstablishRequest& req) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, req.initiator_ip.value);
+  put_u32(out, req.responder_ip.value);
+  put_u16(out, req.responder_port);
+  out.push_back(static_cast<std::uint8_t>(req.flow_count));
+  out.push_back(static_cast<std::uint8_t>(req.mn_count));
+  out.push_back(static_cast<std::uint8_t>(req.multicast_decoys));
+  out.push_back(static_cast<std::uint8_t>(req.service_name.size()));
+  out.insert(out.end(), req.service_name.begin(), req.service_name.end());
+  put_u16(out, static_cast<std::uint16_t>(req.initiator_sports.size()));
+  for (const auto port : req.initiator_sports) put_u16(out, port);
+  return out;
+}
+
+EstablishRequest deserialize_request(const std::vector<std::uint8_t>& bytes) {
+  EstablishRequest req;
+  std::size_t at = 0;
+  req.initiator_ip = net::Ipv4{get_u32(bytes, at)};
+  req.responder_ip = net::Ipv4{get_u32(bytes, at)};
+  req.responder_port = get_u16(bytes, at);
+  MIC_ASSERT(at + 4 <= bytes.size());
+  req.flow_count = bytes[at++];
+  req.mn_count = bytes[at++];
+  req.multicast_decoys = bytes[at++];
+  const std::size_t name_len = bytes[at++];
+  MIC_ASSERT(at + name_len <= bytes.size());
+  req.service_name.assign(bytes.begin() + static_cast<long>(at),
+                          bytes.begin() + static_cast<long>(at + name_len));
+  at += name_len;
+  const std::size_t n_ports = get_u16(bytes, at);
+  req.initiator_sports.reserve(n_ports);
+  for (std::size_t i = 0; i < n_ports; ++i) {
+    req.initiator_sports.push_back(get_u16(bytes, at));
+  }
+  return req;
+}
+
+void crypt_control_message(const crypto::Aes128::Key& key,
+                           std::uint64_t message_counter,
+                           std::vector<std::uint8_t>& bytes) {
+  crypto::Aes128::Block iv{};
+  store_be64(iv.data(), message_counter);
+  crypto::aes128_ctr(key, iv, bytes);
+}
+
+}  // namespace mic::core

@@ -1,0 +1,103 @@
+// Mimic-channel data model shared by the Mimic Controller and the client
+// library: per-hop address plans, establishment requests/results, and the
+// (real, AES-encrypted) control-message serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/maga_registry.hpp"
+#include "crypto/aes128.hpp"
+#include "net/addr.hpp"
+#include "topology/graph.hpp"
+
+namespace mic::core {
+
+using ChannelId = std::uint64_t;
+
+/// The addresses a packet carries on one path segment.  mpls == kNoMpls on
+/// the first segment (host cannot tag) and the last (the last MN pops).
+struct HopAddresses {
+  net::Ipv4 src;
+  net::Ipv4 dst;
+  net::L4Port sport = 0;
+  net::L4Port dport = 0;
+  net::MplsLabel mpls = net::kNoMpls;
+};
+
+/// One decoy replica emitted by the partially-multicast mechanism.
+struct DecoyPlan {
+  MTuple tuple;
+  topo::PortId out_port = topo::kInvalidPort;
+  topo::NodeId next_switch = topo::kInvalidNode;
+  topo::PortId next_in_port = topo::kInvalidPort;
+  FlowId flow_id = kInvalidFlowId;
+};
+
+/// Complete routing plan of one m-flow (paper Sec IV-B2): a path, the MN
+/// positions on it, and the address sequence in both directions.
+struct MFlowPlan {
+  FlowId flow_id = kInvalidFlowId;
+  topo::Path path;                        // forward, hosts at both ends
+  std::vector<std::size_t> mn_positions;  // ascending indices into `path`
+  std::vector<HopAddresses> forward;      // size N+1; [0]=initial, [N]=final
+  std::vector<HopAddresses> reverse;      // same, along the reversed path
+  std::vector<DecoyPlan> decoys;          // at the first forward MN
+};
+
+struct ChannelState {
+  ChannelId id = 0;
+  topo::NodeId initiator = topo::kInvalidNode;
+  topo::NodeId responder = topo::kInvalidNode;
+  std::vector<MFlowPlan> flows;
+  std::vector<topo::NodeId> touched_switches;
+  bool idle = false;
+  std::uint64_t idle_since = 0;  // sim time of the last idle notification
+};
+
+struct EstablishRequest {
+  net::Ipv4 initiator_ip;
+  /// Either a hidden-service nickname or an explicit responder address.
+  std::string service_name;
+  net::Ipv4 responder_ip{0};
+  net::L4Port responder_port = 0;
+
+  int flow_count = 1;  // F: m-flows per channel
+  int mn_count = 3;    // N: MNs per m-flow (the paper's default route length)
+  /// The initiator pre-binds one source port per m-flow so the MC can
+  /// install exact reverse-path rewrites.
+  std::vector<net::L4Port> initiator_sports;
+  /// Partial multicast: number of decoy replicas at the first MN (0 = off).
+  int multicast_decoys = 0;
+};
+
+struct EntryAddress {
+  net::Ipv4 ip;
+  net::L4Port port = 0;
+};
+
+struct EstablishResult {
+  bool ok = false;
+  std::string error;
+  ChannelId channel = 0;
+  std::vector<EntryAddress> entries;  // one per m-flow
+};
+
+// --- control-channel wire format -------------------------------------------
+//
+// The client<->MC request really is serialized and AES-128-CTR encrypted
+// with the pre-shared key (paper Sec VI: "The communication between the
+// client and the MC is encrypted using private key", with AES for the
+// request packet).
+
+std::vector<std::uint8_t> serialize_request(const EstablishRequest& req);
+EstablishRequest deserialize_request(const std::vector<std::uint8_t>& bytes);
+
+/// In-place CTR encryption/decryption with a per-message IV derived from a
+/// message counter.
+void crypt_control_message(const crypto::Aes128::Key& key,
+                           std::uint64_t message_counter,
+                           std::vector<std::uint8_t>& bytes);
+
+}  // namespace mic::core

@@ -1,0 +1,137 @@
+#include "core/collision_audit.hpp"
+
+#include <sstream>
+
+namespace mic::core {
+
+namespace {
+
+std::string describe(topo::NodeId sw, const switchd::FlowRule& rule,
+                     const char* what) {
+  std::ostringstream out;
+  out << "switch " << sw << " prio " << rule.priority << " cookie "
+      << rule.cookie << ": " << what;
+  return out.str();
+}
+
+}  // namespace
+
+AuditReport audit_collisions(MimicController& mc) {
+  AuditReport report;
+  auto& registry = mc.registry();
+
+  for (const topo::NodeId sw : mc.graph().switches()) {
+    const auto& rules = mc.switch_at(sw)->table().rules();
+
+    // 1. No duplicate (priority, match).
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      ++report.rules_checked;
+      for (std::size_t j = i + 1; j < rules.size(); ++j) {
+        if (rules[i].priority == rules[j].priority &&
+            rules[i].match == rules[j].match) {
+          report.ok = false;
+          report.violations.push_back(
+              describe(sw, rules[i], "duplicate (priority, match) pair"));
+        }
+      }
+    }
+
+    for (const auto& rule : rules) {
+      // 2. Matched MF tuples must belong to an active flow of the MN that
+      //    generated them (identified through the label class).
+      if (rule.priority >= ctrl::kPriorityMFlow && rule.match.mpls) {
+        ++report.mflow_rules;
+        const net::MplsLabel label = *rule.match.mpls;
+        const std::uint8_t cls = registry.class_of_label(label);
+        if (cls == registry.c_id()) {
+          report.ok = false;
+          report.violations.push_back(
+              describe(sw, rule, "m-flow rule matches a CF-class label"));
+          continue;
+        }
+        const topo::NodeId generator = registry.switch_of_class(cls);
+        if (generator == topo::kInvalidNode) {
+          report.ok = false;
+          report.violations.push_back(
+              describe(sw, rule, "MF label class maps to no registered MN"));
+          continue;
+        }
+        MTuple tuple{*rule.match.src, *rule.match.dst, *rule.match.sport,
+                     *rule.match.dport, label};
+        const FlowId flow = registry.flow_id_of(generator, tuple);
+        if (!registry.flow_id_active(flow)) {
+          report.ok = false;
+          report.violations.push_back(describe(
+              sw, rule, "matched m-tuple does not hash to an active flow ID"));
+        }
+      }
+
+      // 3. Rewrite targets produced *by this switch* must hash to an active
+      //    flow under this switch's own function and carry its own label
+      //    class (MAGA-1); CF tags written by ingress rules must classify
+      //    as C_ID.
+      auto check_actions = [&](const std::vector<switchd::Action>& actions) {
+        net::Ipv4 new_src{}, new_dst{};
+        net::L4Port new_sport = 0, new_dport = 0;
+        net::MplsLabel new_label = net::kNoMpls;
+        bool has_set_mpls = false, has_set_ips = false;
+        for (const auto& action : actions) {
+          if (const auto* a = std::get_if<switchd::SetSrc>(&action)) {
+            new_src = a->ip;
+            has_set_ips = true;
+          } else if (const auto* a = std::get_if<switchd::SetDst>(&action)) {
+            new_dst = a->ip;
+          } else if (const auto* a = std::get_if<switchd::SetSport>(&action)) {
+            new_sport = a->port;
+          } else if (const auto* a = std::get_if<switchd::SetDport>(&action)) {
+            new_dport = a->port;
+          } else if (const auto* a = std::get_if<switchd::SetMpls>(&action)) {
+            new_label = a->label;
+            has_set_mpls = true;
+          }
+        }
+        if (!has_set_mpls) return;
+        const std::uint8_t cls = registry.class_of_label(new_label);
+        if (!has_set_ips) {
+          // Ingress CF tagging: the label must be in the common class.
+          if (cls != registry.c_id()) {
+            report.ok = false;
+            report.violations.push_back(describe(
+                sw, rule, "CF ingress tag label not in the common class"));
+          }
+          return;
+        }
+        // A full MN rewrite: label class must be this switch's S_ID and the
+        // produced tuple must hash to an active flow under this switch.
+        if (cls != registry.s_id(sw)) {
+          report.ok = false;
+          report.violations.push_back(describe(
+              sw, rule, "MN rewrite label not in this switch's class"));
+          return;
+        }
+        const MTuple tuple{new_src, new_dst, new_sport, new_dport, new_label};
+        if (!registry.flow_id_active(registry.flow_id_of(sw, tuple))) {
+          report.ok = false;
+          report.violations.push_back(describe(
+              sw, rule, "MN rewrite tuple does not hash to an active flow"));
+        }
+      };
+      check_actions(rule.actions);
+      for (const auto& action : rule.actions) {
+        if (const auto* grp = std::get_if<switchd::GroupAction>(&action)) {
+          const auto* group = mc.switch_at(sw)->table().group(grp->group_id);
+          if (group == nullptr) {
+            report.ok = false;
+            report.violations.push_back(
+                describe(sw, rule, "dangling group reference"));
+            continue;
+          }
+          for (const auto& bucket : group->buckets) check_actions(bucket);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mic::core

@@ -1,0 +1,29 @@
+// Collision audit: an executable check of the Collision Avoidance
+// Mechanism's invariants (DESIGN.md CA-1, MAGA-1..3).
+//
+// Walks every switch's flow table and verifies that
+//  1. no two rules share (priority, match) -- the data-plane precondition
+//     for deterministic forwarding,
+//  2. every m-flow rule's matched three-tuple hashes to an *active* flow ID
+//     under the owning switch's MAGA function,
+//  3. every MF label's class equals the switch's S_ID, every CF label's
+//     class equals C_ID, and the two never mix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mimic_controller.hpp"
+
+namespace mic::core {
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::size_t rules_checked = 0;
+  std::size_t mflow_rules = 0;
+};
+
+AuditReport audit_collisions(MimicController& mc);
+
+}  // namespace mic::core

@@ -1,0 +1,302 @@
+#include "core/mic_client.hpp"
+
+#include "common/log.hpp"
+
+namespace mic::core {
+
+namespace {
+
+transport::ChunkView view_of(const transport::Chunk& chunk) {
+  if (chunk.is_real()) return {chunk.length, *chunk.data};
+  return {chunk.length, {}};
+}
+
+}  // namespace
+
+// --- MicChannel --------------------------------------------------------------
+
+MicChannel::MicChannel(transport::Host& host, MimicController& mc,
+                       MicChannelOptions options, Rng& rng)
+    : host_(host), mc_(mc), options_(std::move(options)), rng_(rng) {
+  started_at_ = host_.simulator().now();
+
+  // First contact: run the one-time key exchange with the MC (both sides
+  // pay the asymmetric cost once per client).
+  const bool known = mc_.client_registered(host_.ip());
+  const crypto::Aes128::Key key = mc_.register_client(host_.ip());
+  if (!known) {
+    host_.charge(2 * host_.costs().dh_modexp_cycles);
+  }
+
+  sports_.reserve(static_cast<std::size_t>(options_.flow_count));
+  for (int i = 0; i < options_.flow_count; ++i) {
+    sports_.push_back(host_.reserve_port());
+  }
+
+  EstablishRequest request;
+  request.initiator_ip = host_.ip();
+  request.service_name = options_.service_name;
+  request.responder_ip = options_.responder_ip;
+  request.responder_port = options_.responder_port;
+  request.flow_count = options_.flow_count;
+  request.mn_count = options_.mn_count;
+  request.multicast_decoys = options_.multicast_decoys;
+  request.initiator_sports = sports_;
+
+  // The request really is serialized and AES-encrypted (paper Sec VI).
+  std::vector<std::uint8_t> bytes = serialize_request(request);
+  host_.charge(host_.costs().aes_crypt_cycles(bytes.size()));
+  control_counter_ = host_.fresh_stream_uid();
+  crypt_control_message(key, control_counter_, bytes);
+
+  mc_.async_establish(host_.ip(), std::move(bytes), control_counter_,
+                      [this](const EstablishResult& result) {
+                        on_established(result);
+                      });
+}
+
+void MicChannel::on_established(const EstablishResult& result) {
+  if (!result.ok) {
+    failed_ = true;
+    error_ = result.error;
+    log_warn("MIC establish failed: %s", error_.c_str());
+    notify_closed();
+    return;
+  }
+  channel_id_ = result.channel;
+  // Decrypting the acknowledgement costs the client another AES pass.
+  host_.charge(host_.costs().aes_crypt_cycles(
+      8.0 * static_cast<double>(result.entries.size()) + 16.0));
+
+  flows_.resize(result.entries.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Flow& flow = flows_[i];
+    flow.tcp = &host_.connect_from(sports_[i], result.entries[i].ip,
+                                   result.entries[i].port);
+    if (options_.use_ssl) {
+      flow.ssl = std::make_unique<transport::SslSession>(
+          *flow.tcp, transport::SslSession::Role::kClient, host_, rng_);
+      flow.stream = flow.ssl.get();
+    } else {
+      flow.stream = flow.tcp;
+    }
+
+    flow.stream->set_on_ready([this] {
+      if (++flows_ready_ == static_cast<int>(flows_.size())) {
+        ready_ = true;
+        ready_at_ = host_.simulator().now();
+        // Hello slices teach the responder which connections form this
+        // channel; they carry no payload.
+        for (std::size_t f = 0; f < flows_.size(); ++f) {
+          SliceHeader hello;
+          hello.channel = static_cast<std::uint32_t>(channel_id_);
+          hello.seq = send_seq_++;
+          hello.length = 0;
+          hello.flow = static_cast<std::uint16_t>(f);
+          flows_[f].stream->send(
+              transport::Chunk::real(serialize_slice_header(hello)));
+        }
+        notify_ready();
+        flush_pending();
+      }
+    });
+    flow.stream->set_on_data([this, i](const transport::ChunkView& view) {
+      flows_[i].parser.feed(view, [this](const SliceHeader& header,
+                                         transport::Chunk payload) {
+        reorderer_.push(header.seq, std::move(payload),
+                        [this](transport::Chunk chunk) {
+                          notify_data(view_of(chunk));
+                        });
+      });
+    });
+    flow.stream->set_on_closed([this] {
+      if (!closed_notified_) {
+        closed_notified_ = true;
+        notify_closed();
+      }
+    });
+  }
+}
+
+void MicChannel::send(transport::Chunk chunk) {
+  if (!ready_) {
+    pending_.push_back(std::move(chunk));
+    return;
+  }
+  std::uint64_t offset = 0;
+  while (offset < chunk.length) {
+    const std::uint64_t slice_len = std::min<std::uint64_t>(
+        chunk.length - offset,
+        rng_.range(options_.min_slice, options_.max_slice));
+    send_slice(transport::sub_chunk(chunk, offset, slice_len));
+    offset += slice_len;
+  }
+}
+
+void MicChannel::send_slice(transport::Chunk payload) {
+  const std::size_t flow_index = rng_.below(flows_.size());
+  Flow& flow = flows_[flow_index];
+  SliceHeader header;
+  header.channel = static_cast<std::uint32_t>(channel_id_);
+  header.seq = send_seq_++;
+  header.length = static_cast<std::uint32_t>(payload.length);
+  header.flow = static_cast<std::uint16_t>(flow_index);
+  flow.bytes_sent += kSliceHeaderBytes + payload.length;
+  flow.stream->send(transport::Chunk::real(serialize_slice_header(header)));
+  if (payload.length > 0) flow.stream->send(std::move(payload));
+}
+
+void MicChannel::flush_pending() {
+  while (!pending_.empty()) {
+    transport::Chunk chunk = std::move(pending_.front());
+    pending_.pop_front();
+    send(std::move(chunk));
+  }
+}
+
+void MicChannel::close() {
+  for (Flow& flow : flows_) {
+    if (flow.stream != nullptr) flow.stream->close();
+  }
+  // The shutdown notification travels the control channel.
+  const ChannelId id = channel_id_;
+  auto& mc = mc_;
+  host_.simulator().schedule_in(mc_.mic_config().control_latency,
+                                [&mc, id] { mc.teardown(id, false); });
+}
+
+void MicChannel::release_for_reuse() {
+  const ChannelId id = channel_id_;
+  auto& mc = mc_;
+  host_.simulator().schedule_in(mc_.mic_config().control_latency,
+                                [&mc, id] { mc.mark_idle(id, true); });
+}
+
+void MicChannel::reacquire() {
+  const ChannelId id = channel_id_;
+  auto& mc = mc_;
+  host_.simulator().schedule_in(mc_.mic_config().control_latency,
+                                [&mc, id] { mc.mark_idle(id, false); });
+}
+
+// --- MicChannelPool --------------------------------------------------------------
+
+MicChannel& MicChannelPool::acquire(const MicChannelOptions& options) {
+  for (Entry& entry : entries_) {
+    if (entry.idle && same_target(entry.options, options) &&
+        !entry.channel->failed()) {
+      entry.idle = false;
+      entry.channel->reacquire();
+      return *entry.channel;
+    }
+  }
+  Entry entry;
+  entry.options = options;
+  entry.channel = std::make_unique<MicChannel>(host_, mc_, options, rng_);
+  entries_.push_back(std::move(entry));
+  return *entries_.back().channel;
+}
+
+void MicChannelPool::release(MicChannel& channel) {
+  for (Entry& entry : entries_) {
+    if (entry.channel.get() == &channel) {
+      entry.idle = true;
+      channel.release_for_reuse();
+      return;
+    }
+  }
+  MIC_ASSERT_MSG(false, "releasing a channel this pool does not own");
+}
+
+void MicChannelPool::drain() {
+  for (Entry& entry : entries_) entry.channel->close();
+  entries_.clear();
+}
+
+std::size_t MicChannelPool::idle_count() const {
+  std::size_t idle = 0;
+  for (const Entry& entry : entries_) idle += entry.idle;
+  return idle;
+}
+
+// --- MicServerChannel ----------------------------------------------------------
+
+void MicServerChannel::add_stream(transport::ByteStream* stream) {
+  streams_.push_back(stream);
+}
+
+void MicServerChannel::deliver(std::uint32_t seq, transport::Chunk payload) {
+  reorderer_.push(seq, std::move(payload), [this](transport::Chunk chunk) {
+    notify_data(view_of(chunk));
+  });
+}
+
+void MicServerChannel::send(transport::Chunk chunk) {
+  MIC_ASSERT_MSG(!streams_.empty(), "no m-flow connections known yet");
+  std::uint64_t offset = 0;
+  while (offset < chunk.length) {
+    const std::uint64_t slice_len = std::min<std::uint64_t>(
+        chunk.length - offset, rng_.range(min_slice_, max_slice_));
+    const std::size_t flow_index = rng_.below(streams_.size());
+    SliceHeader header;
+    header.channel = wire_id_;
+    header.seq = send_seq_++;
+    header.length = static_cast<std::uint32_t>(slice_len);
+    header.flow = static_cast<std::uint16_t>(flow_index);
+    streams_[flow_index]->send(
+        transport::Chunk::real(serialize_slice_header(header)));
+    streams_[flow_index]->send(transport::sub_chunk(chunk, offset, slice_len));
+    offset += slice_len;
+  }
+}
+
+void MicServerChannel::close() {
+  for (transport::ByteStream* stream : streams_) stream->close();
+}
+
+// --- MicServer ------------------------------------------------------------------
+
+MicServer::MicServer(transport::Host& host, net::L4Port port, Rng& rng,
+                     bool use_ssl)
+    : host_(host), rng_(rng), use_ssl_(use_ssl) {
+  host_.listen(port, [this](transport::TcpConnection& conn) {
+    on_accept(conn);
+  });
+}
+
+void MicServer::on_accept(transport::TcpConnection& conn) {
+  auto flow = std::make_unique<FlowCtx>();
+  flow->tcp = &conn;
+  if (use_ssl_) {
+    flow->ssl = std::make_unique<transport::SslSession>(
+        conn, transport::SslSession::Role::kServer, host_, rng_);
+    flow->stream = flow->ssl.get();
+  } else {
+    flow->stream = &conn;
+  }
+  FlowCtx* raw = flow.get();
+  raw->stream->set_on_data([this, raw](const transport::ChunkView& view) {
+    on_flow_data(*raw, view);
+  });
+  flows_.push_back(std::move(flow));
+}
+
+void MicServer::on_flow_data(FlowCtx& flow, const transport::ChunkView& view) {
+  flow.parser.feed(view, [this, &flow](const SliceHeader& header,
+                                       transport::Chunk payload) {
+    if (flow.channel == nullptr) {
+      auto it = channels_.find(header.channel);
+      if (it == channels_.end()) {
+        auto channel = std::make_unique<MicServerChannel>(
+            header.channel, rng_, 8 * 1024, 32 * 1024);
+        it = channels_.emplace(header.channel, std::move(channel)).first;
+        if (on_channel_) on_channel_(*it->second);
+      }
+      flow.channel = it->second.get();
+      flow.channel->add_stream(flow.stream);
+    }
+    flow.channel->deliver(header.seq, std::move(payload));
+  });
+}
+
+}  // namespace mic::core

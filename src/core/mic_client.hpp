@@ -1,0 +1,218 @@
+// MIC user-end library: "MIC employs typical C/S model, providing socket
+// like programming APIs, and thus a programmer can use MIC for anonymous
+// communication easily" (paper Sec VI).
+//
+// MicChannel is the initiator side: it asks the MC (over the encrypted
+// control channel) to establish a mimic channel with F m-flows and N MNs,
+// opens one TCP (or SSL, for MIC-SSL) connection per m-flow to the entry
+// addresses it gets back, and stripes application data across the flows in
+// randomly sized slices.  MicServer is the responder side: it accepts the
+// m-flow connections (seeing only presented m-addresses, never the
+// initiator), regroups them into channels and reassembles the byte stream.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/mic_wire.hpp"
+#include "core/mimic_controller.hpp"
+#include "transport/ssl.hpp"
+#include "transport/tcp.hpp"
+
+namespace mic::core {
+
+struct MicChannelOptions {
+  /// Hidden-service nickname, or explicit responder address.
+  std::string service_name;
+  net::Ipv4 responder_ip{0};
+  net::L4Port responder_port = 0;
+
+  int flow_count = 1;       // F
+  int mn_count = 3;         // N (privacy level; paper default 3)
+  int multicast_decoys = 0; // partial multicast replicas at the first MN
+  bool use_ssl = false;     // MIC-SSL: SSL inside each m-flow
+
+  /// Slice sizing for the striping (uniform in [min, max]).
+  std::uint32_t min_slice = 8 * 1024;
+  std::uint32_t max_slice = 32 * 1024;
+};
+
+class MicChannel : public transport::ByteStream {
+ public:
+  /// Starts establishment immediately; the stream becomes ready() once the
+  /// MC acknowledged and all F m-flow connections are up.
+  MicChannel(transport::Host& host, MimicController& mc,
+             MicChannelOptions options, Rng& rng);
+
+  void send(transport::Chunk chunk) override;
+  void close() override;
+  bool ready() const override { return ready_; }
+
+  /// Mark the channel idle at the MC instead of tearing it down
+  /// (Sec IV-B1 channel reuse).
+  void release_for_reuse();
+  /// Reactivate a released channel for another session.
+  void reacquire();
+
+  ChannelId id() const noexcept { return channel_id_; }
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+  /// Time from construction to ready (the paper's "MIC connect" time).
+  sim::SimTime setup_time() const noexcept { return ready_at_ - started_at_; }
+  int flow_count() const noexcept { return static_cast<int>(flows_.size()); }
+  std::uint64_t bytes_sent_on_flow(std::size_t i) const {
+    return flows_[i].bytes_sent;
+  }
+  /// Introspection for tests and diagnostics.
+  transport::TcpConnection* debug_tcp(std::size_t i) { return flows_[i].tcp; }
+
+ private:
+  struct Flow {
+    transport::TcpConnection* tcp = nullptr;
+    std::unique_ptr<transport::SslSession> ssl;
+    transport::ByteStream* stream = nullptr;  // tcp or ssl
+    SliceParser parser;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  void on_established(const EstablishResult& result);
+  void send_slice(transport::Chunk payload);
+  void flush_pending();
+
+  transport::Host& host_;
+  MimicController& mc_;
+  MicChannelOptions options_;
+  Rng& rng_;
+
+  ChannelId channel_id_ = 0;
+  std::vector<Flow> flows_;
+  std::vector<net::L4Port> sports_;
+  SliceReorderer reorderer_;
+  std::deque<transport::Chunk> pending_;
+  std::uint32_t send_seq_ = 0;
+  bool ready_ = false;
+  bool failed_ = false;
+  bool closed_notified_ = false;
+  std::string error_;
+  int flows_ready_ = 0;
+  sim::SimTime started_at_ = 0;
+  sim::SimTime ready_at_ = 0;
+  std::uint64_t control_counter_ = 0;
+};
+
+/// One accepted channel on the responder.  The responder never sees the
+/// initiator's address: its peer addresses are the presented m-addresses.
+class MicServerChannel : public transport::ByteStream {
+ public:
+  explicit MicServerChannel(std::uint32_t wire_id, Rng& rng,
+                            std::uint32_t min_slice, std::uint32_t max_slice)
+      : wire_id_(wire_id),
+        rng_(rng),
+        min_slice_(min_slice),
+        max_slice_(max_slice) {}
+
+  void send(transport::Chunk chunk) override;
+  void close() override;
+  bool ready() const override { return !streams_.empty(); }
+
+  std::uint32_t wire_id() const noexcept { return wire_id_; }
+  std::size_t known_flows() const noexcept { return streams_.size(); }
+
+ private:
+  friend class MicServer;
+
+  void add_stream(transport::ByteStream* stream);
+  void deliver(std::uint32_t seq, transport::Chunk payload);
+
+  std::uint32_t wire_id_;
+  Rng& rng_;
+  std::uint32_t min_slice_;
+  std::uint32_t max_slice_;
+  std::vector<transport::ByteStream*> streams_;
+  SliceReorderer reorderer_;
+  std::uint32_t send_seq_ = 0;
+};
+
+/// Client-side channel cache implementing the paper's channel-reuse policy
+/// (Sec IV-B1): "we should reuse the mimic channel among the communications
+/// between the same participants ... the sender does not send shutdown
+/// request to the MC immediately when the communication is finished".
+/// acquire() hands back an idle channel with matching options when one
+/// exists; release() parks it (notifying the MC it is idle) instead of
+/// tearing it down.
+class MicChannelPool {
+ public:
+  MicChannelPool(transport::Host& host, MimicController& mc, Rng& rng)
+      : host_(host), mc_(mc), rng_(rng) {}
+
+  /// Non-copyable: entries hold raw pointers into the pool.
+  MicChannelPool(const MicChannelPool&) = delete;
+  MicChannelPool& operator=(const MicChannelPool&) = delete;
+
+  MicChannel& acquire(const MicChannelOptions& options);
+  /// Park a channel acquired from this pool.
+  void release(MicChannel& channel);
+  /// Tear down every pooled channel.
+  void drain();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t idle_count() const;
+
+ private:
+  struct Entry {
+    MicChannelOptions options;
+    std::unique_ptr<MicChannel> channel;
+    bool idle = false;
+  };
+
+  static bool same_target(const MicChannelOptions& a,
+                          const MicChannelOptions& b) {
+    return a.service_name == b.service_name && a.responder_ip == b.responder_ip &&
+           a.responder_port == b.responder_port && a.flow_count == b.flow_count &&
+           a.mn_count == b.mn_count && a.use_ssl == b.use_ssl &&
+           a.multicast_decoys == b.multicast_decoys;
+  }
+
+  transport::Host& host_;
+  MimicController& mc_;
+  Rng& rng_;
+  std::vector<Entry> entries_;
+};
+
+class MicServer {
+ public:
+  using ChannelHandler = std::function<void(MicServerChannel&)>;
+
+  /// Listens on `port` for m-flow connections.  With use_ssl the responder
+  /// runs MIC-SSL (an SSL server inside every m-flow).
+  MicServer(transport::Host& host, net::L4Port port, Rng& rng,
+            bool use_ssl = false);
+
+  void set_on_channel(ChannelHandler handler) {
+    on_channel_ = std::move(handler);
+  }
+
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+
+ private:
+  struct FlowCtx {
+    transport::TcpConnection* tcp = nullptr;
+    std::unique_ptr<transport::SslSession> ssl;
+    transport::ByteStream* stream = nullptr;
+    SliceParser parser;
+    MicServerChannel* channel = nullptr;
+  };
+
+  void on_accept(transport::TcpConnection& conn);
+  void on_flow_data(FlowCtx& flow, const transport::ChunkView& view);
+
+  transport::Host& host_;
+  Rng& rng_;
+  bool use_ssl_;
+  std::vector<std::unique_ptr<FlowCtx>> flows_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<MicServerChannel>>
+      channels_;
+  ChannelHandler on_channel_;
+};
+
+}  // namespace mic::core

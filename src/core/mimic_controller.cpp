@@ -1,0 +1,741 @@
+#include "core/mimic_controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mic::core {
+
+namespace {
+constexpr int kMaxEndpointTries = 4096;
+constexpr int kMaxRouteTries = 64;
+}  // namespace
+
+MimicController::MimicController(net::Network& network,
+                                 ctrl::HostAddressing addressing,
+                                 std::uint64_t seed, MicConfig mic_config,
+                                 ctrl::ControllerConfig ctrl_config)
+    : ctrl::Controller(network, std::move(addressing), ctrl_config),
+      mic_config_(mic_config),
+      rng_(seed),
+      registry_(mic_config.shared_secret_seed != 0
+                    ? Rng(mic_config.shared_secret_seed)
+                    : rng_.fork(),
+                mic_config.flow_ids),
+      restrictions_(network.graph(), paths(), Controller::addressing()) {
+  // Namespacing for co-deployed controllers: channel IDs (and therefore
+  // rule cookies) and group IDs never collide across instances.
+  next_channel_ =
+      (static_cast<ChannelId>(mic_config_.instance_id) << 32) + 1;
+  next_group_ = (mic_config_.instance_id << 24) + 1;
+
+  // Every switch is a potential MN (paper: "Any switches in the network are
+  // potential MNs"), so all get MAGA state up front.
+  for (const topo::NodeId sw : graph().switches()) {
+    registry_.register_switch(sw);
+  }
+}
+
+void MimicController::install_default_routing() {
+  ctrl::L3RoutingApp::install(
+      *this, [this](topo::NodeId host) { return cf_label_for(host); });
+  default_routing_installed_ = true;
+}
+
+net::MplsLabel MimicController::cf_label_for(topo::NodeId host) {
+  const auto it = cf_labels_.find(host);
+  if (it != cf_labels_.end()) return it->second;
+  const net::MplsLabel label = registry_.sample_cf_label();
+  cf_labels_.emplace(host, label);
+  return label;
+}
+
+void MimicController::register_hidden_service(const std::string& name,
+                                              net::Ipv4 ip,
+                                              net::L4Port port) {
+  hidden_services_[name] = {ip, port};
+}
+
+const crypto::Aes128::Key& MimicController::register_client(net::Ipv4 client) {
+  auto it = client_keys_.find(client.value);
+  if (it != client_keys_.end()) return it->second;
+  // The paper prescribes a one-time asymmetric exchange (RSA or D-H); we
+  // charge the MC its side of the exchange and derive the key.
+  mc_cpu_.charge(network().simulator().now(),
+                 2 * crypto::default_cost_model().dh_modexp_cycles);
+  crypto::Aes128::Key key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng_.next());
+  return client_keys_.emplace(client.value, key).first->second;
+}
+
+// --- planning helpers ---------------------------------------------------------
+
+bool MimicController::path_avoids_failures(const topo::Path& path) const {
+  if (failed_links_.empty()) return true;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const topo::LinkId link = graph().link_between(path[i], path[i + 1]);
+    if (failed_links_.contains(link)) return false;
+  }
+  return true;
+}
+
+bool MimicController::sample_route_and_positions(const PlanContext& ctx,
+                                                 std::size_t n,
+                                                 MFlowPlan& out,
+                                                 std::string& error) {
+  if (!paths().reachable(ctx.initiator, ctx.responder)) {
+    error = "responder unreachable";
+    return false;
+  }
+
+  // Build into locals and commit only on success, so a failed replan
+  // leaves the plan's previous route intact for resource release.
+  topo::Path route;
+  for (int attempt = 0; attempt < kMaxRouteTries; ++attempt) {
+    topo::Path candidate;
+    if (paths().switch_hops(ctx.initiator, ctx.responder) >= n) {
+      candidate =
+          paths().sample_shortest_path(ctx.initiator, ctx.responder, rng_);
+    } else {
+      auto longer =
+          paths().sample_long_path(ctx.initiator, ctx.responder,
+                                   static_cast<std::uint32_t>(n), rng_);
+      if (!longer) continue;
+      candidate = std::move(*longer);
+    }
+    if (!path_avoids_failures(candidate)) continue;
+    route = std::move(candidate);
+    break;
+  }
+  if (route.empty()) {
+    error = "no usable path with the requested MN count";
+    return false;
+  }
+
+  const std::size_t sw_count = route.size() - 2;
+  MIC_ASSERT(sw_count >= n);
+  std::vector<std::size_t> positions(sw_count);
+  for (std::size_t i = 0; i < sw_count; ++i) positions[i] = i + 1;
+  rng_.shuffle(positions);
+  positions.resize(n);
+  std::sort(positions.begin(), positions.end());
+  out.path = std::move(route);
+  out.mn_positions = std::move(positions);
+  return true;
+}
+
+void MimicController::generate_middle_tuples(const PlanContext& ctx,
+                                             MFlowPlan& plan) {
+  const auto& g = graph();
+  const std::size_t n = plan.mn_positions.size();
+
+  // Intermediate m-addresses never display the real endpoints: a middle
+  // vantage must see *neither* participant (Sec V).  Falls back to the raw
+  // restriction set only if filtering would empty it.
+  const auto hide_endpoints = [&ctx](const std::vector<net::Ipv4>& in) {
+    std::vector<net::Ipv4> out;
+    for (const net::Ipv4 ip : in) {
+      if (ip != ctx.initiator_ip && ip != ctx.responder_ip) out.push_back(ip);
+    }
+    return out.empty() ? in : out;
+  };
+
+  for (std::size_t j = 1; j < n; ++j) {
+    const std::size_t pos = plan.mn_positions[j - 1];
+    const topo::NodeId mn = plan.path[pos];
+    const topo::PortId egress = g.port_towards(mn, plan.path[pos + 1]);
+    const MTuple tuple = registry_.generate(
+        mn, plan.flow_id,
+        hide_endpoints(restrictions_.allowed_src(mn, egress)),
+        hide_endpoints(restrictions_.allowed_dst(mn, egress)));
+    plan.forward[j] = {tuple.src, tuple.dst, tuple.sport, tuple.dport,
+                       tuple.mpls};
+  }
+
+  topo::Path rpath(plan.path.rbegin(), plan.path.rend());
+  std::vector<std::size_t> rpositions;
+  rpositions.reserve(n);
+  for (const std::size_t pos : plan.mn_positions) {
+    rpositions.push_back(plan.path.size() - 1 - pos);
+  }
+  std::sort(rpositions.begin(), rpositions.end());
+  for (std::size_t j = 1; j < n; ++j) {
+    const std::size_t pos = rpositions[j - 1];
+    const topo::NodeId mn = rpath[pos];
+    const topo::PortId egress = g.port_towards(mn, rpath[pos + 1]);
+    const MTuple tuple = registry_.generate(
+        mn, plan.flow_id,
+        hide_endpoints(restrictions_.allowed_src(mn, egress)),
+        hide_endpoints(restrictions_.allowed_dst(mn, egress)));
+    plan.reverse[j] = {tuple.src, tuple.dst, tuple.sport, tuple.dport,
+                       tuple.mpls};
+  }
+}
+
+void MimicController::generate_decoys(int count, MFlowPlan& plan) {
+  if (count <= 0 || plan.mn_positions.empty()) return;
+  const auto& g = graph();
+  const std::size_t first_pos = plan.mn_positions[0];
+  const topo::NodeId first_mn = plan.path[first_pos];
+  const topo::PortId real_egress =
+      g.port_towards(first_mn, plan.path[first_pos + 1]);
+  const topo::PortId ingress =
+      g.port_towards(first_mn, plan.path[first_pos - 1]);
+
+  std::vector<const topo::Adjacency*> decoy_ports;
+  for (const auto& adj : g.neighbors(first_mn)) {
+    if (adj.local_port != real_egress && adj.local_port != ingress &&
+        g.is_switch(adj.peer)) {
+      decoy_ports.push_back(&adj);
+    }
+  }
+  if (decoy_ports.empty()) {
+    log_warn("channel: first MN %u has no spare switch ports for decoys",
+             first_mn);
+    return;
+  }
+  for (int d = 0; d < count; ++d) {
+    const auto& adj =
+        *decoy_ports[static_cast<std::size_t>(d) % decoy_ports.size()];
+    DecoyPlan decoy;
+    decoy.flow_id = registry_.allocate_flow_id();
+    decoy.tuple = registry_.generate(
+        first_mn, decoy.flow_id,
+        restrictions_.allowed_src(first_mn, adj.local_port),
+        restrictions_.allowed_dst(first_mn, adj.local_port));
+    decoy.out_port = adj.local_port;
+    decoy.next_switch = adj.peer;
+    decoy.next_in_port = adj.peer_port;
+    plan.decoys.push_back(decoy);
+  }
+}
+
+bool MimicController::plan_mflow(const PlanContext& ctx, int mn_count,
+                                 net::L4Port initiator_sport, int decoys,
+                                 MFlowPlan& out, std::string& error) {
+  const auto& g = graph();
+  const std::size_t n = static_cast<std::size_t>(mn_count);
+
+  out.flow_id = registry_.allocate_flow_id();
+  if (!sample_route_and_positions(ctx, n, out, error)) {
+    registry_.release_flow_id(out.flow_id);
+    return false;
+  }
+
+  const auto all_host_ips = [this, &g] {
+    std::vector<net::Ipv4> ips;
+    for (const topo::NodeId h : g.hosts()) ips.push_back(addressing().ip_of(h));
+    return ips;
+  };
+
+  // --- entry address ----------------------------------------------------------
+  // Plausible at the first link the packet takes out of the edge switch.
+  std::vector<net::Ipv4> entry_candidates;
+  {
+    const topo::NodeId first_sw = out.path[1];
+    const topo::PortId egress = g.port_towards(first_sw, out.path[2]);
+    for (const net::Ipv4 ip : restrictions_.allowed_dst(first_sw, egress)) {
+      if (ip != ctx.initiator_ip && ip != ctx.responder_ip) {
+        entry_candidates.push_back(ip);
+      }
+    }
+    if (entry_candidates.empty()) {
+      for (const net::Ipv4 ip : all_host_ips()) {
+        if (ip != ctx.initiator_ip) entry_candidates.push_back(ip);
+      }
+    }
+    MIC_ASSERT_MSG(!entry_candidates.empty(), "no entry-address candidates");
+  }
+  net::Ipv4 entry_ip;
+  net::L4Port entry_port = 0;
+  for (int attempt = 0;; ++attempt) {
+    MIC_ASSERT_MSG(attempt < kMaxEndpointTries, "entry address space exhausted");
+    entry_ip = entry_candidates[rng_.below(entry_candidates.size())];
+    entry_port = static_cast<net::L4Port>(rng_.range(1024, 65535));
+    if (reserved_endpoints_
+            .insert(endpoint_key(ctx.initiator_ip, 0, entry_ip, entry_port))
+            .second) {
+      break;
+    }
+  }
+
+  const std::size_t sw_count = out.path.size() - 2;
+  (void)sw_count;
+  out.forward.resize(n + 1);
+  out.reverse.resize(n + 1);
+  out.forward[0] = {ctx.initiator_ip, entry_ip, initiator_sport, entry_port,
+                    net::kNoMpls};
+
+  // --- presented (final) address ------------------------------------------------
+  {
+    const std::size_t last_pos = out.mn_positions[n - 1];
+    const topo::NodeId last_mn = out.path[last_pos];
+    const topo::PortId egress =
+        g.port_towards(last_mn, out.path[last_pos + 1]);
+    std::vector<net::Ipv4> presented_candidates;
+    for (const net::Ipv4 ip : restrictions_.allowed_src(last_mn, egress)) {
+      if (ip != ctx.responder_ip && ip != ctx.initiator_ip) {
+        presented_candidates.push_back(ip);
+      }
+    }
+    if (presented_candidates.empty()) {
+      for (const net::Ipv4 ip : all_host_ips()) {
+        if (ip != ctx.responder_ip) presented_candidates.push_back(ip);
+      }
+    }
+    MIC_ASSERT_MSG(!presented_candidates.empty(),
+                   "no presented-address candidates");
+    net::Ipv4 presented_ip;
+    net::L4Port presented_port = 0;
+    for (int attempt = 0;; ++attempt) {
+      MIC_ASSERT_MSG(attempt < kMaxEndpointTries,
+                     "presented address space exhausted");
+      presented_ip =
+          presented_candidates[rng_.below(presented_candidates.size())];
+      presented_port = static_cast<net::L4Port>(rng_.range(1024, 65535));
+      if (reserved_endpoints_
+              .insert(endpoint_key(presented_ip, presented_port,
+                                   ctx.responder_ip, ctx.responder_port))
+              .second) {
+        break;
+      }
+    }
+    out.forward[n] = {presented_ip, ctx.responder_ip, presented_port,
+                      ctx.responder_port, net::kNoMpls};
+  }
+
+  out.reverse[0] = {ctx.responder_ip, out.forward[n].src, ctx.responder_port,
+                    out.forward[n].sport, net::kNoMpls};
+  out.reverse[n] = {entry_ip, ctx.initiator_ip, entry_port, initiator_sport,
+                    net::kNoMpls};
+
+  generate_middle_tuples(ctx, out);
+  generate_decoys(decoys, out);
+  return true;
+}
+
+bool MimicController::replan_flow(const PlanContext& ctx, MFlowPlan& plan,
+                                  std::string& error) {
+  const std::size_t n = plan.mn_positions.size();
+
+  // Release the middle tuples and decoys of the old route; the endpoint
+  // addresses, ports and flow ID stay -- the transport connection must not
+  // notice the migration.
+  auto tuple_of = [](const HopAddresses& hop) {
+    return MTuple{hop.src, hop.dst, hop.sport, hop.dport, hop.mpls};
+  };
+  {
+    topo::Path rpath(plan.path.rbegin(), plan.path.rend());
+    std::vector<std::size_t> rpositions;
+    for (const std::size_t pos : plan.mn_positions) {
+      rpositions.push_back(plan.path.size() - 1 - pos);
+    }
+    std::sort(rpositions.begin(), rpositions.end());
+    for (std::size_t j = 1; j < n; ++j) {
+      registry_.release_tuples(plan.path[plan.mn_positions[j - 1]],
+                               {tuple_of(plan.forward[j])});
+      registry_.release_tuples(rpath[rpositions[j - 1]],
+                               {tuple_of(plan.reverse[j])});
+    }
+    const topo::NodeId first_mn = plan.path[plan.mn_positions[0]];
+    for (const DecoyPlan& decoy : plan.decoys) {
+      registry_.release_flow_id(decoy.flow_id);
+      registry_.release_tuples(first_mn, {decoy.tuple});
+    }
+  }
+  const int decoy_count = static_cast<int>(plan.decoys.size());
+  plan.decoys.clear();
+
+  if (!sample_route_and_positions(ctx, n, plan, error)) return false;
+  generate_middle_tuples(ctx, plan);
+  generate_decoys(decoy_count, plan);
+  return true;
+}
+
+void MimicController::install_direction(
+    ChannelId id, const MFlowPlan& plan, const topo::Path& path,
+    const std::vector<std::size_t>& mn_positions,
+    const std::vector<HopAddresses>& hops,
+    const std::vector<DecoyPlan>& decoys, bool immediate,
+    std::vector<topo::NodeId>& touched) {
+  const auto& g = graph();
+  const std::size_t n = mn_positions.size();
+
+  auto make_match = [&](const HopAddresses& hop, topo::PortId in_port) {
+    switchd::Match match;
+    match.in_port = in_port;
+    match.src = hop.src;
+    match.dst = hop.dst;
+    match.sport = hop.sport;
+    match.dport = hop.dport;
+    if (hop.mpls == net::kNoMpls) {
+      match.require_no_mpls = true;
+    } else {
+      match.mpls = hop.mpls;
+    }
+    return match;
+  };
+  auto rewrite_actions = [&](const HopAddresses& to) {
+    std::vector<switchd::Action> actions;
+    actions.push_back(switchd::SetSrc{to.src});
+    actions.push_back(switchd::SetDst{to.dst});
+    actions.push_back(switchd::SetSport{to.sport});
+    actions.push_back(switchd::SetDport{to.dport});
+    if (to.mpls == net::kNoMpls) {
+      actions.push_back(switchd::PopMpls{});
+    } else {
+      actions.push_back(switchd::SetMpls{to.mpls});
+    }
+    return actions;
+  };
+
+  for (std::size_t t = 1; t + 1 < path.size(); ++t) {
+    const topo::NodeId sw = path[t];
+    touched.push_back(sw);
+    const topo::PortId in_port = g.port_towards(sw, path[t - 1]);
+    const topo::PortId egress = g.port_towards(sw, path[t + 1]);
+
+    // Segment index carried into this switch.
+    std::size_t seg = 0;
+    while (seg < n && mn_positions[seg] < t) ++seg;
+    const bool is_mn = seg < n && mn_positions[seg] == t;
+
+    switchd::FlowRule rule;
+    rule.priority = ctrl::kPriorityMFlow;
+    rule.cookie = id;
+    rule.match = make_match(hops[seg], in_port);
+
+    if (!is_mn) {
+      rule.actions = {switchd::Output{egress}};
+      install_rule(sw, std::move(rule), immediate);
+      continue;
+    }
+
+    auto actions = rewrite_actions(hops[seg + 1]);
+    actions.push_back(switchd::Output{egress});
+
+    if (seg == 0 && !decoys.empty()) {
+      // Partially-multicast: an ALL group replicates the packet with
+      // different m-addresses out different ports; only the real copy
+      // survives its next hop.
+      switchd::GroupEntry group;
+      group.group_id = next_group_++;
+      group.type = switchd::GroupType::kAll;
+      group.cookie = id;
+      group.buckets.push_back(std::move(actions));
+      for (const DecoyPlan& decoy : decoys) {
+        const HopAddresses decoy_hop{decoy.tuple.src, decoy.tuple.dst,
+                                     decoy.tuple.sport, decoy.tuple.dport,
+                                     decoy.tuple.mpls};
+        auto bucket = rewrite_actions(decoy_hop);
+        bucket.push_back(switchd::Output{decoy.out_port});
+        group.buckets.push_back(std::move(bucket));
+
+        // The decoy dies at its next hop.
+        switchd::FlowRule drop;
+        drop.priority = ctrl::kPriorityDecoyDrop;
+        drop.cookie = id;
+        drop.match = make_match(decoy_hop, decoy.next_in_port);
+        drop.actions = {switchd::DropAction{}};
+        install_rule(decoy.next_switch, std::move(drop), immediate);
+        touched.push_back(decoy.next_switch);
+      }
+      install_group(sw, std::move(group), immediate);
+      rule.actions = {switchd::GroupAction{next_group_ - 1}};
+    } else {
+      rule.actions = std::move(actions);
+    }
+    install_rule(sw, std::move(rule), immediate);
+  }
+  (void)plan;
+}
+
+void MimicController::install_flow(ChannelId id, const MFlowPlan& plan,
+                                   bool immediate,
+                                   std::vector<topo::NodeId>& touched) {
+  install_direction(id, plan, plan.path, plan.mn_positions, plan.forward,
+                    plan.decoys, immediate, touched);
+  topo::Path rpath(plan.path.rbegin(), plan.path.rend());
+  std::vector<std::size_t> rpositions;
+  for (const std::size_t pos : plan.mn_positions) {
+    rpositions.push_back(plan.path.size() - 1 - pos);
+  }
+  std::sort(rpositions.begin(), rpositions.end());
+  install_direction(id, plan, rpath, rpositions, plan.reverse, {}, immediate,
+                    touched);
+}
+
+MimicController::PlanContext MimicController::context_of(
+    const ChannelState& state) const {
+  PlanContext ctx;
+  ctx.initiator = state.initiator;
+  ctx.responder = state.responder;
+  const MFlowPlan& first = state.flows.front();
+  ctx.initiator_ip = first.forward.front().src;
+  ctx.responder_ip = first.forward.back().dst;
+  ctx.responder_port = first.forward.back().dport;
+  return ctx;
+}
+
+EstablishResult MimicController::establish(const EstablishRequest& request,
+                                           bool immediate_install) {
+  ++requests_;
+  EstablishResult result;
+
+  PlanContext ctx;
+  ctx.initiator_ip = request.initiator_ip;
+  if (!request.service_name.empty()) {
+    const auto it = hidden_services_.find(request.service_name);
+    if (it == hidden_services_.end()) {
+      result.error = "unknown hidden service: " + request.service_name;
+      return result;
+    }
+    ctx.responder_ip = it->second.first;
+    ctx.responder_port = it->second.second;
+  } else {
+    ctx.responder_ip = request.responder_ip;
+    ctx.responder_port = request.responder_port;
+  }
+  ctx.initiator = addressing().host_of(ctx.initiator_ip);
+  ctx.responder = addressing().host_of(ctx.responder_ip);
+  if (ctx.initiator == topo::kInvalidNode ||
+      ctx.responder == topo::kInvalidNode) {
+    result.error = "unknown initiator or responder address";
+    return result;
+  }
+  if (ctx.initiator == ctx.responder) {
+    result.error = "initiator and responder must differ";
+    return result;
+  }
+  if (request.flow_count < 1 || request.mn_count < 1 ||
+      request.initiator_sports.size() !=
+          static_cast<std::size_t>(request.flow_count)) {
+    result.error = "malformed request (F, N, or source ports)";
+    return result;
+  }
+
+  ChannelState state;
+  state.id = next_channel_++;
+  state.initiator = ctx.initiator;
+  state.responder = ctx.responder;
+
+  for (int f = 0; f < request.flow_count; ++f) {
+    MFlowPlan plan;
+    std::string error;
+    if (!plan_mflow(ctx, request.mn_count,
+                    request.initiator_sports[static_cast<std::size_t>(f)],
+                    request.multicast_decoys, plan, error)) {
+      for (const MFlowPlan& planned : state.flows) {
+        release_plan_resources(planned);
+      }
+      result.error = error;
+      return result;
+    }
+    state.flows.push_back(std::move(plan));
+  }
+
+  for (const MFlowPlan& plan : state.flows) {
+    install_flow(state.id, plan, immediate_install, state.touched_switches);
+  }
+  std::sort(state.touched_switches.begin(), state.touched_switches.end());
+  state.touched_switches.erase(
+      std::unique(state.touched_switches.begin(),
+                  state.touched_switches.end()),
+      state.touched_switches.end());
+
+  result.ok = true;
+  result.channel = state.id;
+  for (const MFlowPlan& plan : state.flows) {
+    result.entries.push_back({plan.forward[0].dst, plan.forward[0].dport});
+  }
+  channels_.emplace(state.id, std::move(state));
+  return result;
+}
+
+void MimicController::async_establish(
+    net::Ipv4 client, std::vector<std::uint8_t> encrypted_request,
+    std::uint64_t message_counter,
+    std::function<void(EstablishResult)> on_result) {
+  auto& simulator = network().simulator();
+  simulator.schedule_in(
+      mic_config_.control_latency,
+      [this, client, enc = std::move(encrypted_request), message_counter,
+       cb = std::move(on_result)]() mutable {
+        const auto key_it = client_keys_.find(client.value);
+        MIC_ASSERT_MSG(key_it != client_keys_.end(),
+                       "client must register_client() before establishing");
+        std::vector<std::uint8_t> bytes = std::move(enc);
+        crypt_control_message(key_it->second, message_counter, bytes);
+        const EstablishRequest request = deserialize_request(bytes);
+
+        const auto& costs = crypto::default_cost_model();
+        const double cycles =
+            costs.mic_request_fixed_cycles +
+            costs.aes_crypt_cycles(bytes.size()) +
+            costs.mic_route_calc_cycles_per_flow * request.flow_count;
+        const sim::SimTime done =
+            mc_cpu_.charge(network().simulator().now(), cycles);
+
+        network().simulator().schedule_at(done, [this, request,
+                                                 cb = std::move(cb)] {
+          EstablishResult result = establish(request, /*immediate=*/false);
+          // The acknowledgement leaves once the rules have landed.
+          network().simulator().schedule_in(
+              config().southbound_latency + mic_config_.control_latency,
+              [cb = std::move(cb), result = std::move(result)] {
+                cb(result);
+              });
+        });
+      });
+}
+
+void MimicController::release_plan_resources(const MFlowPlan& plan) {
+  registry_.release_flow_id(plan.flow_id);
+  const std::size_t n = plan.mn_positions.size();
+
+  auto tuple_of = [](const HopAddresses& hop) {
+    return MTuple{hop.src, hop.dst, hop.sport, hop.dport, hop.mpls};
+  };
+
+  for (std::size_t j = 1; j < n; ++j) {
+    const topo::NodeId mn = plan.path[plan.mn_positions[j - 1]];
+    registry_.release_tuples(mn, {tuple_of(plan.forward[j])});
+  }
+  topo::Path rpath(plan.path.rbegin(), plan.path.rend());
+  std::vector<std::size_t> rpositions;
+  for (const std::size_t pos : plan.mn_positions) {
+    rpositions.push_back(plan.path.size() - 1 - pos);
+  }
+  std::sort(rpositions.begin(), rpositions.end());
+  for (std::size_t j = 1; j < n; ++j) {
+    const topo::NodeId mn = rpath[rpositions[j - 1]];
+    registry_.release_tuples(mn, {tuple_of(plan.reverse[j])});
+  }
+  if (!plan.mn_positions.empty()) {
+    const topo::NodeId first_mn = plan.path[plan.mn_positions[0]];
+    for (const DecoyPlan& decoy : plan.decoys) {
+      registry_.release_flow_id(decoy.flow_id);
+      registry_.release_tuples(first_mn, {decoy.tuple});
+    }
+  }
+
+  // Release the entry / presented endpoint reservations.
+  reserved_endpoints_.erase(endpoint_key(plan.forward[0].src, 0,
+                                         plan.forward[0].dst,
+                                         plan.forward[0].dport));
+  reserved_endpoints_.erase(endpoint_key(plan.forward[n].src,
+                                         plan.forward[n].sport,
+                                         plan.forward[n].dst,
+                                         plan.forward[n].dport));
+}
+
+void MimicController::teardown(ChannelId id, bool immediate) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  for (const topo::NodeId sw : it->second.touched_switches) {
+    remove_cookie(sw, id, immediate);
+  }
+  for (const MFlowPlan& plan : it->second.flows) {
+    release_plan_resources(plan);
+  }
+  channels_.erase(it);
+}
+
+MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
+  failed_links_.insert(link);
+  RepairOutcome outcome;
+
+  // Common flows first: re-install the default routing around the failure
+  // (fast failover; ECMP absorbs single-link failures in Clos fabrics).
+  if (default_routing_installed_) {
+    ctrl::L3RoutingApp::reroute_around(
+        *this, [this](topo::NodeId host) { return cf_label_for(host); },
+        failed_links_);
+  }
+
+  // Which channels cross the failed link?  (Forward and reverse use the
+  // same physical links, so checking the forward path suffices.)
+  std::vector<ChannelId> affected;
+  for (const auto& [id, state] : channels_) {
+    for (const MFlowPlan& plan : state.flows) {
+      bool uses = false;
+      for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        if (graph().link_between(plan.path[i], plan.path[i + 1]) == link) {
+          uses = true;
+          break;
+        }
+      }
+      if (uses) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+
+  for (const ChannelId id : affected) {
+    ChannelState& state = channels_.at(id);
+    const PlanContext ctx = context_of(state);
+
+    // Pull the old rules everywhere this channel touched.
+    for (const topo::NodeId sw : state.touched_switches) {
+      remove_cookie(sw, id, /*immediate=*/false);
+    }
+    state.touched_switches.clear();
+
+    bool ok = true;
+    std::string error;
+    for (MFlowPlan& plan : state.flows) {
+      if (!replan_flow(ctx, plan, error)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      log_warn("channel %llu lost: %s",
+               static_cast<unsigned long long>(id), error.c_str());
+      for (const MFlowPlan& plan : state.flows) {
+        release_plan_resources(plan);
+      }
+      channels_.erase(id);
+      ++outcome.lost;
+      continue;
+    }
+
+    for (const MFlowPlan& plan : state.flows) {
+      install_flow(id, plan, /*immediate=*/false, state.touched_switches);
+    }
+    std::sort(state.touched_switches.begin(), state.touched_switches.end());
+    state.touched_switches.erase(
+        std::unique(state.touched_switches.begin(),
+                    state.touched_switches.end()),
+        state.touched_switches.end());
+    ++outcome.repaired;
+  }
+  return outcome;
+}
+
+void MimicController::mark_idle(ChannelId id, bool idle) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  it->second.idle = idle;
+  if (idle) it->second.idle_since = network().simulator().now();
+}
+
+std::size_t MimicController::reclaim_idle(sim::SimTime max_idle) {
+  const sim::SimTime now = network().simulator().now();
+  std::vector<ChannelId> stale;
+  for (const auto& [id, state] : channels_) {
+    if (state.idle && now - state.idle_since >= max_idle) {
+      stale.push_back(id);
+    }
+  }
+  for (const ChannelId id : stale) teardown(id, /*immediate=*/false);
+  return stale.size();
+}
+
+const ChannelState* MimicController::channel(ChannelId id) const {
+  const auto it = channels_.find(id);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mic::core

@@ -1,0 +1,195 @@
+// The Mimic Controller (MC): the core of MIC (paper Sec IV-B).
+//
+// The MC runs inside the SDN controller.  It manages mimic-channel state,
+// computes the routing of every m-flow (path choice, MN selection,
+// m-address generation via MAGA), enforces collision avoidance, installs
+// the per-hop rules, runs the hidden-service map, and answers client
+// establishment requests over an encrypted control channel.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/address_restrictions.hpp"
+#include "core/channel.hpp"
+#include "core/maga_registry.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/l3_routing.hpp"
+#include "sim/cpu.hpp"
+
+namespace mic::core {
+
+struct MicConfig {
+  /// One-way latency between a client and the MC (dedicated control net).
+  sim::SimTime control_latency = sim::microseconds(150);
+  /// Default privacy level ("the path length is set to default 3").
+  int default_mn_count = 3;
+
+  // --- distributed-controller deployment (paper Sec VI-C) --------------------
+  /// Distinguishes this controller instance: channel IDs, rule cookies and
+  /// group IDs are derived from it so co-deployed MCs never collide.
+  std::uint32_t instance_id = 0;
+  /// This instance's slice of the m-flow ID space; slices of co-deployed
+  /// MCs must be disjoint.
+  FlowIdRange flow_ids{};
+  /// Deployment-wide MAGA secret seed.  All co-deployed MCs must share it
+  /// (the hash functions are global; only the ID spaces are partitioned).
+  /// 0 derives a private seed from the controller seed (single-MC setup).
+  std::uint64_t shared_secret_seed = 0;
+};
+
+class MimicController : public ctrl::Controller {
+ public:
+  MimicController(net::Network& network, ctrl::HostAddressing addressing,
+                  std::uint64_t seed, MicConfig mic_config = {},
+                  ctrl::ControllerConfig ctrl_config = {});
+
+  // --- bootstrap ------------------------------------------------------------
+
+  /// Install the CF-tagged proactive routing for common flows.
+  void install_default_routing();
+
+  /// Hidden-service registration (paper Sec IV-D): the responder publishes
+  /// a nickname; initiators never learn its address.
+  void register_hidden_service(const std::string& name, net::Ipv4 ip,
+                               net::L4Port port);
+
+  /// First-contact key setup with a client (paper: DH/RSA exchange done in
+  /// advance).  Returns the pre-shared AES key; idempotent.
+  const crypto::Aes128::Key& register_client(net::Ipv4 client);
+
+  bool client_registered(net::Ipv4 client) const {
+    return client_keys_.contains(client.value);
+  }
+
+  // --- channel establishment ------------------------------------------------
+
+  /// Synchronous planning + immediate rule install.  Used by benchmarks
+  /// and by handle_encrypted_request (which adds the control-plane timing).
+  EstablishResult establish(const EstablishRequest& request,
+                            bool immediate_install = true);
+
+  /// The full control-plane path: the encrypted request is decrypted and
+  /// parsed (both charged to the MC CPU), the routing computed, rules
+  /// installed with southbound latency, and the callback invoked when the
+  /// encrypted acknowledgement reaches the client.
+  void async_establish(net::Ipv4 client,
+                       std::vector<std::uint8_t> encrypted_request,
+                       std::uint64_t message_counter,
+                       std::function<void(EstablishResult)> on_result);
+
+  void teardown(ChannelId id, bool immediate = true);
+
+  // --- failure handling (extension; the SDN controller's natural job) --------
+
+  /// Report a failed link.  Every mimic channel whose path crosses it is
+  /// re-routed around the failure: paths and m-addresses of the affected
+  /// m-flows are re-planned while the endpoint addresses (entry address,
+  /// presented address, initiator ports) stay fixed, so the transport
+  /// connections survive the migration transparently.  Channels that
+  /// cannot be re-routed (e.g. a dead access link) are torn down.
+  /// Returns {repaired channels, lost channels}.
+  struct RepairOutcome {
+    std::size_t repaired = 0;
+    std::size_t lost = 0;
+  };
+  RepairOutcome fail_link(topo::LinkId link);
+
+  /// Restore a previously failed link (new channels may use it again;
+  /// existing channels keep their repaired routes).
+  void restore_link(topo::LinkId link) { failed_links_.erase(link); }
+
+  const std::unordered_set<topo::LinkId>& failed_links() const noexcept {
+    return failed_links_;
+  }
+
+  /// Channel reuse support (paper Sec IV-B1): clients mark finished
+  /// channels idle instead of tearing them down; a periodic notification
+  /// keeps the MC's view fresh.
+  void mark_idle(ChannelId id, bool idle);
+
+  /// Reclaim channels that have been idle longer than `max_idle` --
+  /// the MC-side half of the channel-management story: reuse keeps hot
+  /// channels alive, reclamation bounds the rule-table footprint.
+  /// Returns the number of channels torn down.
+  std::size_t reclaim_idle(sim::SimTime max_idle);
+
+  // --- introspection ----------------------------------------------------------
+
+  const ChannelState* channel(ChannelId id) const;
+  std::size_t active_channel_count() const noexcept { return channels_.size(); }
+  std::uint64_t requests_handled() const noexcept { return requests_; }
+
+  MagaRegistry& registry() noexcept { return registry_; }
+  const AddressRestrictions& restrictions() const noexcept {
+    return restrictions_;
+  }
+  sim::CpuMeter& mc_cpu() noexcept { return mc_cpu_; }
+  const MicConfig& mic_config() const noexcept { return mic_config_; }
+
+  /// CF label policy handed to the L3 routing app (cached per host).
+  net::MplsLabel cf_label_for(topo::NodeId host);
+
+ private:
+  struct PlanContext {
+    topo::NodeId initiator;
+    topo::NodeId responder;
+    net::Ipv4 initiator_ip;
+    net::Ipv4 responder_ip;
+    net::L4Port responder_port;
+  };
+
+  bool plan_mflow(const PlanContext& ctx, int mn_count,
+                  net::L4Port initiator_sport, int decoys, MFlowPlan& out,
+                  std::string& error);
+  /// Route + MN-position sampling, avoiding failed links.
+  bool sample_route_and_positions(const PlanContext& ctx, std::size_t n,
+                                  MFlowPlan& out, std::string& error);
+  bool path_avoids_failures(const topo::Path& path) const;
+  /// Fill forward[1..n-1] and reverse[1..n-1] from the current route.
+  void generate_middle_tuples(const PlanContext& ctx, MFlowPlan& plan);
+  void generate_decoys(int count, MFlowPlan& plan);
+  /// Re-route one m-flow around failures, keeping endpoints and flow ID.
+  bool replan_flow(const PlanContext& ctx, MFlowPlan& plan,
+                   std::string& error);
+  void install_flow(ChannelId id, const MFlowPlan& plan, bool immediate,
+                    std::vector<topo::NodeId>& touched);
+  PlanContext context_of(const ChannelState& state) const;
+  void install_direction(ChannelId id, const MFlowPlan& plan,
+                         const topo::Path& path,
+                         const std::vector<std::size_t>& mn_positions,
+                         const std::vector<HopAddresses>& hops,
+                         const std::vector<DecoyPlan>& decoys, bool immediate,
+                         std::vector<topo::NodeId>& touched);
+  void release_plan_resources(const MFlowPlan& plan);
+
+  static std::uint64_t endpoint_key(net::Ipv4 a, net::L4Port pa, net::Ipv4 b,
+                                    net::L4Port pb) {
+    std::uint64_t state = (static_cast<std::uint64_t>(a.value) << 32) |
+                          b.value;
+    state ^= (static_cast<std::uint64_t>(pa) << 16) ^ pb;
+    return splitmix64(state);
+  }
+
+  MicConfig mic_config_;
+  Rng rng_;
+  MagaRegistry registry_;
+  AddressRestrictions restrictions_;
+  sim::CpuMeter mc_cpu_;
+
+  ChannelId next_channel_ = 1;
+  std::uint32_t next_group_ = 1;
+  std::unordered_map<ChannelId, ChannelState> channels_;
+  std::unordered_map<std::string, std::pair<net::Ipv4, net::L4Port>>
+      hidden_services_;
+  std::unordered_map<std::uint32_t, crypto::Aes128::Key> client_keys_;
+  std::unordered_map<topo::NodeId, net::MplsLabel> cf_labels_;
+  /// Reserved (src endpoint, dst endpoint) pairs: entry addresses and
+  /// presented addresses, so two channels can never share one.
+  std::unordered_set<std::uint64_t> reserved_endpoints_;
+  std::unordered_set<topo::LinkId> failed_links_;
+  bool default_routing_installed_ = false;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace mic::core

@@ -1,0 +1,80 @@
+#include "core/socket_api.hpp"
+
+namespace mic::core {
+
+int MicSocketApi::mic_connect(net::Ipv4 responder, net::L4Port port,
+                              MicChannelOptions options) {
+  options.responder_ip = responder;
+  options.responder_port = port;
+  options.service_name.clear();
+  return open_channel(std::move(options));
+}
+
+int MicSocketApi::mic_connect(const std::string& service_name,
+                              MicChannelOptions options) {
+  options.service_name = service_name;
+  return open_channel(std::move(options));
+}
+
+int MicSocketApi::open_channel(MicChannelOptions options) {
+  const int fd = next_fd_++;
+  Socket socket;
+  socket.channel =
+      std::make_unique<MicChannel>(host_, mc_, std::move(options), rng_);
+  Socket* raw = &sockets_.emplace(fd, std::move(socket)).first->second;
+  raw->channel->set_on_data([raw](const transport::ChunkView& view) {
+    // Virtual bulk bytes read back as zeros, like a sparse file.
+    if (view.is_real() && !view.bytes.empty()) {
+      raw->rx.insert(raw->rx.end(), view.bytes.begin(), view.bytes.end());
+    } else {
+      raw->rx.insert(raw->rx.end(), view.length, 0);
+    }
+  });
+  raw->channel->set_on_closed([raw] {
+    if (raw->channel->failed()) raw->failed = true;
+  });
+  return fd;
+}
+
+MicSocketApi::Socket& MicSocketApi::at(int fd) {
+  const auto it = sockets_.find(fd);
+  MIC_ASSERT_MSG(it != sockets_.end(), "bad MIC socket descriptor");
+  return it->second;
+}
+
+const MicSocketApi::Socket& MicSocketApi::at(int fd) const {
+  const auto it = sockets_.find(fd);
+  MIC_ASSERT_MSG(it != sockets_.end(), "bad MIC socket descriptor");
+  return it->second;
+}
+
+bool MicSocketApi::ready(int fd) const { return at(fd).channel->ready(); }
+
+bool MicSocketApi::failed(int fd) const {
+  const Socket& socket = at(fd);
+  return socket.failed || socket.channel->failed();
+}
+
+void MicSocketApi::mic_send(int fd, std::span<const std::uint8_t> data) {
+  at(fd).channel->send(transport::Chunk::real(
+      std::vector<std::uint8_t>(data.begin(), data.end())));
+}
+
+std::size_t MicSocketApi::readable(int fd) const { return at(fd).rx.size(); }
+
+std::size_t MicSocketApi::mic_recv(int fd, std::span<std::uint8_t> out) {
+  Socket& socket = at(fd);
+  const std::size_t n = std::min(out.size(), socket.rx.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = socket.rx.front();
+    socket.rx.pop_front();
+  }
+  return n;
+}
+
+void MicSocketApi::mic_close(int fd) {
+  at(fd).channel->close();
+  sockets_.erase(fd);
+}
+
+}  // namespace mic::core

@@ -1,0 +1,69 @@
+// The paper-style socket veneer: "MIC employs typical C/S model, providing
+// socket like programming APIs, and thus a programmer can use MIC for
+// anonymous communication easily" (Sec VI).
+//
+// A thin, fd-oriented facade over MicChannel for applications ported from
+// BSD sockets: mic_connect() returns a small integer handle, mic_send()
+// writes, mic_recv() reads from an internal buffer, mic_close() tears the
+// channel down.  Reads are non-blocking (the simulator has no threads);
+// poll readable() or drive the simulator until data arrives.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "core/mic_client.hpp"
+
+namespace mic::core {
+
+class MicSocketApi {
+ public:
+  MicSocketApi(transport::Host& host, MimicController& mc, Rng& rng)
+      : host_(host), mc_(mc), rng_(rng) {}
+
+  MicSocketApi(const MicSocketApi&) = delete;
+  MicSocketApi& operator=(const MicSocketApi&) = delete;
+
+  /// Open an anonymous channel to an explicit responder address.
+  int mic_connect(net::Ipv4 responder, net::L4Port port,
+                  MicChannelOptions options = {});
+  /// Open an anonymous channel to a hidden service by nickname.
+  int mic_connect(const std::string& service_name,
+                  MicChannelOptions options = {});
+
+  /// True once the channel is established (and false again after close or
+  /// failure).
+  bool ready(int fd) const;
+  bool failed(int fd) const;
+
+  /// Queue bytes for anonymous transmission.  Accepted before the channel
+  /// is ready (sent on establishment).
+  void mic_send(int fd, std::span<const std::uint8_t> data);
+
+  /// Bytes buffered for reading.
+  std::size_t readable(int fd) const;
+
+  /// Non-blocking read into `out`; returns the number of bytes copied.
+  std::size_t mic_recv(int fd, std::span<std::uint8_t> out);
+
+  void mic_close(int fd);
+
+ private:
+  struct Socket {
+    std::unique_ptr<MicChannel> channel;
+    std::deque<std::uint8_t> rx;
+    bool failed = false;
+  };
+
+  int open_channel(MicChannelOptions options);
+  Socket& at(int fd);
+  const Socket& at(int fd) const;
+
+  transport::Host& host_;
+  MimicController& mc_;
+  Rng& rng_;
+  int next_fd_ = 3;  // tip of the hat to stdin/stdout/stderr
+  std::map<int, Socket> sockets_;
+};
+
+}  // namespace mic::core

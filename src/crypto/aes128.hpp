@@ -1,0 +1,40 @@
+// AES-128 block cipher (FIPS 197) and CTR mode.
+//
+// The paper's prototype encrypts the channel-establishment request with
+// "the AES function in OpenSSL"; we implement AES-128 from scratch so the
+// control-plane code path matches.  Table-free S-box-based implementation,
+// verified against the FIPS 197 / SP 800-38A test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mic::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kBlockSize = 16;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  explicit Aes128(const Key& key) noexcept;
+
+  /// Encrypt a single 16-byte block (ECB primitive; only used by CTR below
+  /// and by the known-answer tests).
+  Block encrypt_block(const Block& plaintext) const noexcept;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+/// AES-128-CTR keystream application: encryption == decryption.
+/// `iv` is the initial 16-byte counter block; the counter occupies the last
+/// four bytes, big-endian, as in SP 800-38A.
+void aes128_ctr(const Aes128::Key& key, const Aes128::Block& iv,
+                std::span<std::uint8_t> data) noexcept;
+
+}  // namespace mic::crypto

@@ -1,0 +1,63 @@
+#include "crypto/chacha20.hpp"
+
+#include "common/bits.hpp"
+
+namespace mic::crypto {
+
+namespace {
+
+constexpr void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                             std::uint32_t& c, std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl(d, 16u);
+  c += d; b ^= c; b = rotl(b, 12u);
+  a += b; d ^= a; d = rotl(d, 8u);
+  c += d; b ^= c; b = rotl(b, 7u);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const Key& key, const Nonce& nonce,
+                   std::uint32_t initial_counter) noexcept {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(keystream_.data() + 4 * i, x[i] + state_[i]);
+  }
+  ++state_[12];
+  keystream_used_ = 0;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) noexcept {
+  for (auto& byte : data) {
+    if (keystream_used_ == kBlockSize) refill();
+    byte ^= keystream_[keystream_used_++];
+  }
+}
+
+void ChaCha20::crypt(const Key& key, const Nonce& nonce,
+                     std::span<std::uint8_t> data,
+                     std::uint32_t initial_counter) noexcept {
+  ChaCha20 cipher(key, nonce, initial_counter);
+  cipher.apply(data);
+}
+
+}  // namespace mic::crypto

@@ -1,0 +1,43 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// This is the work-horse symmetric cipher of the reproduction: the MC<->
+// client control channel and the Tor baseline's layered onion encryption
+// both use it.  Verified against the RFC 8439 test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mic::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  ChaCha20(const Key& key, const Nonce& nonce,
+           std::uint32_t initial_counter = 1) noexcept;
+
+  /// XOR the keystream into `data` in place.  Encryption and decryption are
+  /// the same operation.  Successive calls continue the keystream.
+  void apply(std::span<std::uint8_t> data) noexcept;
+
+  /// One-shot helper: XOR keystream into `data` using a fresh cipher.
+  static void crypt(const Key& key, const Nonce& nonce,
+                    std::span<std::uint8_t> data,
+                    std::uint32_t initial_counter = 1) noexcept;
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, kBlockSize> keystream_{};
+  std::size_t keystream_used_ = kBlockSize;
+};
+
+}  // namespace mic::crypto

@@ -1,0 +1,61 @@
+#include "crypto/dh.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mic::crypto {
+
+namespace {
+
+// RFC 3526, group 14 (2048-bit MODP), generator 2.
+constexpr std::string_view kGroup14PrimeHex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+}  // namespace
+
+DhGroup::DhGroup() : ctx_(Uint2048::from_hex(kGroup14PrimeHex)) {}
+
+Uint2048 DhGroup::sample_private_key(Rng& rng) const {
+  Uint2048 key;
+  for (std::size_t i = 0; i < 4; ++i) key.set_limb(i, rng.next());
+  // Keep the exponent >= 2 and exactly 256 bits so bit_length is stable.
+  key.set_limb(3, key.limb(3) | (1ULL << 63));
+  key.set_limb(0, key.limb(0) | 2ULL);
+  return key;
+}
+
+Uint2048 DhGroup::public_key(const Uint2048& private_key) const noexcept {
+  return ctx_.modexp(Uint2048::from_u64(2), private_key);
+}
+
+Uint2048 DhGroup::shared_secret(const Uint2048& private_key,
+                                const Uint2048& peer_public) const noexcept {
+  return ctx_.modexp(peer_public, private_key);
+}
+
+std::array<std::uint8_t, 32> DhGroup::derive_key(
+    const Uint2048& shared, std::string_view label) const {
+  const auto secret_bytes = shared.to_bytes_be();
+  const auto out = kdf_sha256(
+      secret_bytes,
+      {reinterpret_cast<const std::uint8_t*>(label.data()), label.size()}, 32);
+  std::array<std::uint8_t, 32> key{};
+  std::copy(out.begin(), out.begin() + 32, key.begin());
+  return key;
+}
+
+const DhGroup& dh_group_14() {
+  static const DhGroup group;
+  return group;
+}
+
+}  // namespace mic::crypto

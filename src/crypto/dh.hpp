@@ -1,0 +1,47 @@
+// Diffie-Hellman key exchange over the RFC 3526 2048-bit MODP group.
+//
+// Used when a client contacts the Mimic Controller for the first time
+// (paper Sec VI: "exchange a private key with the MC in advance using
+// asymmetric encryption algorithms, like RSA or D-H"), and by the Tor
+// baseline's telescoping circuit construction (one exchange per hop).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace mic::crypto {
+
+/// Shared, process-wide context for the RFC 3526 group 14 parameters
+/// (2048-bit prime, generator 2).  Construction precomputes the Montgomery
+/// constants; reuse one instance.
+class DhGroup {
+ public:
+  DhGroup();
+
+  const Uint2048& prime() const noexcept { return ctx_.modulus(); }
+
+  /// Sample a 256-bit private exponent (>= 2) from the given RNG.
+  Uint2048 sample_private_key(Rng& rng) const;
+
+  /// g^priv mod p.
+  Uint2048 public_key(const Uint2048& private_key) const noexcept;
+
+  /// peer_public^priv mod p.
+  Uint2048 shared_secret(const Uint2048& private_key,
+                         const Uint2048& peer_public) const noexcept;
+
+  /// Derive a 32-byte symmetric key from a shared secret via the SHA-256 KDF.
+  std::array<std::uint8_t, 32> derive_key(const Uint2048& shared,
+                                          std::string_view label) const;
+
+ private:
+  MontgomeryCtx ctx_;
+};
+
+/// Returns the process-wide group instance (lazily constructed).
+const DhGroup& dh_group_14();
+
+}  // namespace mic::crypto

@@ -1,0 +1,209 @@
+#include "crypto/rsa.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace mic::crypto {
+
+namespace {
+
+// Small primes for cheap trial division before Miller-Rabin.
+constexpr std::uint64_t kSmallPrimes[] = {
+    3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37,  41,  43,  47,  53,  59,
+    61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137};
+
+/// 64-bit modular inverse via extended Euclid (for phi^{-1} mod e).
+std::uint64_t inverse_mod_u64(std::uint64_t a, std::uint64_t m) {
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m),
+               new_r = static_cast<std::int64_t>(a % m);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    std::int64_t tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  MIC_ASSERT_MSG(r == 1, "inverse does not exist");
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+}  // namespace
+
+bool is_probable_prime(const Uint2048& n, Rng& rng, int rounds) {
+  if (n.is_zero() || n == Uint2048::from_u64(1)) return false;
+  if (n == Uint2048::from_u64(2)) return true;
+  if ((n.limb(0) & 1) == 0) return false;
+  for (const std::uint64_t p : kSmallPrimes) {
+    if (n == Uint2048::from_u64(p)) return true;
+    if (n.mod_u64(p) == 0) return false;
+  }
+
+  // n - 1 = 2^s * d.
+  Uint2048 n_minus_1 = n;
+  n_minus_1.sub_in_place(Uint2048::from_u64(1));
+  Uint2048 d = n_minus_1;
+  int s = 0;
+  while ((d.limb(0) & 1) == 0) {
+    d.shr1_in_place();
+    ++s;
+  }
+
+  const MontgomeryCtx ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, 2^62): plenty for a probabilistic test.
+    const Uint2048 base = Uint2048::from_u64(rng.range(2, (1ULL << 62)));
+    Uint2048 x = ctx.modexp(base, d);
+    if (x == Uint2048::from_u64(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (int i = 1; i < s; ++i) {
+      x = ctx.from_mont(ctx.mont_mul(ctx.to_mont(x), ctx.to_mont(x)));
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+Uint2048 generate_prime(int bits, Rng& rng) {
+  MIC_ASSERT(bits >= 16 && bits <= 1024);
+  for (;;) {
+    Uint2048 candidate;
+    const int limbs = (bits + 63) / 64;
+    for (int i = 0; i < limbs; ++i) {
+      candidate.set_limb(static_cast<std::size_t>(i), rng.next());
+    }
+    // Clamp to exactly `bits` bits, set the top two bits (so products of
+    // two primes reach the full modulus size) and force odd.
+    const int top = bits - 1;
+    Uint2048 mask;
+    for (int i = 0; i < limbs; ++i) {
+      mask.set_limb(static_cast<std::size_t>(i), ~0ULL);
+    }
+    if (bits % 64 != 0) {
+      mask.set_limb(static_cast<std::size_t>(limbs - 1),
+                    (~0ULL) >> (64 - bits % 64));
+    }
+    for (std::size_t i = 0; i < Uint2048::kLimbs; ++i) {
+      candidate.set_limb(i, candidate.limb(i) & mask.limb(i));
+    }
+    candidate.set_limb(static_cast<std::size_t>(top / 64),
+                       candidate.limb(static_cast<std::size_t>(top / 64)) |
+                           (1ULL << (top % 64)));
+    if (top >= 1) {
+      candidate.set_limb(static_cast<std::size_t>((top - 1) / 64),
+                         candidate.limb(static_cast<std::size_t>((top - 1) / 64)) |
+                             (1ULL << ((top - 1) % 64)));
+    }
+    candidate.set_limb(0, candidate.limb(0) | 1);
+
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+RsaKeyPair RsaKeyPair::generate(int modulus_bits, Rng& rng) {
+  MIC_ASSERT(modulus_bits >= 64 && modulus_bits <= 2048 &&
+             modulus_bits % 2 == 0);
+  const int prime_bits = modulus_bits / 2;
+  constexpr std::uint64_t e = 65537;
+
+  for (;;) {
+    const Uint2048 p = generate_prime(prime_bits, rng);
+    Uint2048 q;
+    do {
+      q = generate_prime(prime_bits, rng);
+    } while (q == p);
+
+    // phi = (p-1)(q-1).
+    Uint2048 p1 = p;
+    p1.sub_in_place(Uint2048::from_u64(1));
+    Uint2048 q1 = q;
+    q1.sub_in_place(Uint2048::from_u64(1));
+    const Uint2048 phi = Uint2048::mul(p1, q1);
+
+    const std::uint64_t phi_mod_e = phi.mod_u64(e);
+    if (phi_mod_e == 0) continue;  // gcd(e, phi) != 1: rare, retry
+
+    // d = (1 + k*phi) / e with k = -phi^{-1} mod e; the division is exact.
+    const std::uint64_t k = e - inverse_mod_u64(phi_mod_e, e);
+    Uint2048 numerator = Uint2048::mul(phi, Uint2048::from_u64(k));
+    numerator.add_in_place(Uint2048::from_u64(1));
+    std::uint64_t remainder = 1;
+    const Uint2048 d = Uint2048::div_u64(numerator, e, &remainder);
+    MIC_ASSERT_MSG(remainder == 0, "private exponent derivation failed");
+
+    RsaKeyPair keys;
+    keys.pub.n = Uint2048::mul(p, q);
+    keys.pub.e = e;
+    keys.d = d;
+    return keys;
+  }
+}
+
+Uint2048 rsa_public_op(const RsaPublicKey& key, const Uint2048& m) {
+  MIC_ASSERT(m.compare(key.n) < 0);
+  const MontgomeryCtx ctx(key.n);
+  return ctx.modexp(m, Uint2048::from_u64(key.e));
+}
+
+Uint2048 rsa_private_op(const RsaKeyPair& key, const Uint2048& c) {
+  MIC_ASSERT(c.compare(key.pub.n) < 0);
+  const MontgomeryCtx ctx(key.pub.n);
+  return ctx.modexp(c, key.d);
+}
+
+std::vector<std::uint8_t> rsa_encrypt(const RsaPublicKey& key,
+                                      std::span<const std::uint8_t> message,
+                                      Rng& rng) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  MIC_ASSERT_MSG(message.size() + 11 <= k, "message too long for modulus");
+
+  std::vector<std::uint8_t> block(k);
+  block[0] = 0x00;
+  block[1] = 0x02;
+  const std::size_t pad_len = k - 3 - message.size();
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b;
+    do {
+      b = static_cast<std::uint8_t>(rng.next());
+    } while (b == 0);
+    block[2 + i] = b;
+  }
+  block[2 + pad_len] = 0x00;
+  std::copy(message.begin(), message.end(),
+            block.begin() + static_cast<long>(3 + pad_len));
+
+  const Uint2048 m = Uint2048::from_bytes_be(block);
+  const Uint2048 c = rsa_public_op(key, m);
+  const auto full = c.to_bytes_be();
+  return {full.end() - static_cast<long>(k), full.end()};
+}
+
+std::optional<std::vector<std::uint8_t>> rsa_decrypt(
+    const RsaKeyPair& key, std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = (key.pub.n.bit_length() + 7) / 8;
+  if (ciphertext.size() != k) return std::nullopt;
+  const Uint2048 c = Uint2048::from_bytes_be(ciphertext);
+  if (c.compare(key.pub.n) >= 0) return std::nullopt;
+  const Uint2048 m = rsa_private_op(key, c);
+  const auto full = m.to_bytes_be();
+  const std::vector<std::uint8_t> block(full.end() - static_cast<long>(k),
+                                        full.end());
+  if (block.size() < 11 || block[0] != 0x00 || block[1] != 0x02) {
+    return std::nullopt;
+  }
+  std::size_t i = 2;
+  while (i < block.size() && block[i] != 0x00) ++i;
+  if (i < 10 || i == block.size()) return std::nullopt;
+  return std::vector<std::uint8_t>(block.begin() + static_cast<long>(i + 1),
+                                   block.end());
+}
+
+}  // namespace mic::crypto

@@ -1,0 +1,54 @@
+// RSA (textbook keygen + PKCS#1-v1.5-style padding) -- the other
+// asymmetric option the paper names for the client<->MC key exchange
+// ("using asymmetric encryption algorithms, like RSA or D-H", Sec VI).
+//
+// Key generation uses Miller-Rabin over the fixed-width Montgomery
+// arithmetic; the private exponent is derived without big-number division
+// via d = (1 + k*phi) / e with k = -phi^{-1} mod e (e = 65537 is prime, so
+// the inverse lives in 64-bit arithmetic and the final division is by the
+// small e).  Sizes up to RSA-2048 fit the Uint2048 substrate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace mic::crypto {
+
+/// Miller-Rabin probabilistic primality test.
+bool is_probable_prime(const Uint2048& n, Rng& rng, int rounds = 20);
+
+/// Random prime with exactly `bits` bits (top bit set).
+Uint2048 generate_prime(int bits, Rng& rng);
+
+struct RsaPublicKey {
+  Uint2048 n;
+  std::uint64_t e = 65537;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  Uint2048 d;  // private exponent
+
+  /// modulus_bits must be even and <= 2048.
+  static RsaKeyPair generate(int modulus_bits, Rng& rng);
+};
+
+/// Raw modexp primitives (m < n).
+Uint2048 rsa_public_op(const RsaPublicKey& key, const Uint2048& m);
+Uint2048 rsa_private_op(const RsaKeyPair& key, const Uint2048& c);
+
+/// PKCS#1-v1.5-style encryption: 0x00 0x02 <nonzero random> 0x00 <message>,
+/// then the public op.  The message must leave >= 11 bytes of padding room
+/// within the modulus size.
+std::vector<std::uint8_t> rsa_encrypt(const RsaPublicKey& key,
+                                      std::span<const std::uint8_t> message,
+                                      Rng& rng);
+
+/// Inverse of rsa_encrypt; nullopt on malformed padding.
+std::optional<std::vector<std::uint8_t>> rsa_decrypt(
+    const RsaKeyPair& key, std::span<const std::uint8_t> ciphertext);
+
+}  // namespace mic::crypto

@@ -1,0 +1,177 @@
+#include "crypto/sha256.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace mic::crypto {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t big_sigma0(std::uint32_t x) {
+  return rotr(x, 2u) ^ rotr(x, 13u) ^ rotr(x, 22u);
+}
+constexpr std::uint32_t big_sigma1(std::uint32_t x) {
+  return rotr(x, 6u) ^ rotr(x, 11u) ^ rotr(x, 25u);
+}
+constexpr std::uint32_t small_sigma0(std::uint32_t x) {
+  return rotr(x, 7u) ^ rotr(x, 18u) ^ (x >> 3);
+}
+constexpr std::uint32_t small_sigma1(std::uint32_t x) {
+  return rotr(x, 17u) ^ rotr(x, 19u) ^ (x >> 10);
+}
+
+}  // namespace
+
+void Sha256::reset() noexcept {
+  std::memcpy(h_.data(), kInit, sizeof(kInit));
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t* block) noexcept {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
+           w[i - 16];
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t t1 =
+        h + big_sigma1(e) + ((e & f) ^ (~e & g)) + kRound[i] + w[i];
+    const std::uint32_t t2 =
+        big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kBlockSize) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    compress(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+Sha256::Digest Sha256::finish() noexcept {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update({&pad_byte, 1});
+  const std::uint8_t zero = 0;
+  while (buffered_ != kBlockSize - 8) update({&zero, 1});
+  std::uint8_t len_be[8];
+  store_be64(len_be, bit_len);
+  update({len_be, 8});
+  MIC_ASSERT(buffered_ == 0);
+
+  Digest out{};
+  for (int i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, h_[i]);
+  return out;
+}
+
+Sha256::Digest Sha256::hash(std::span<const std::uint8_t> data) noexcept {
+  Sha256 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) noexcept {
+  std::array<std::uint8_t, Sha256::kBlockSize> k_block{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(k_block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad{};
+  std::array<std::uint8_t, Sha256::kBlockSize> opad{};
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+std::vector<std::uint8_t> kdf_sha256(std::span<const std::uint8_t> ikm,
+                                     std::span<const std::uint8_t> label,
+                                     std::size_t out_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(out_len);
+  std::uint32_t counter = 1;
+  while (out.size() < out_len) {
+    std::vector<std::uint8_t> block(label.begin(), label.end());
+    block.push_back(static_cast<std::uint8_t>(counter >> 24));
+    block.push_back(static_cast<std::uint8_t>(counter >> 16));
+    block.push_back(static_cast<std::uint8_t>(counter >> 8));
+    block.push_back(static_cast<std::uint8_t>(counter));
+    const auto digest = hmac_sha256(ikm, block);
+    const std::size_t take = std::min(digest.size(), out_len - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace mic::crypto

@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for the MC<->client control channel MACs, Tor cell digests, and as
+// the key-derivation primitive after Diffie-Hellman.  Implemented from
+// scratch; verified against the FIPS test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mic::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  /// Finishes the hash.  The object must be reset() before reuse.
+  Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) noexcept;
+
+/// HKDF-style expansion: derive `out_len` bytes from input keying material
+/// and a context label.  Enough for our session-key needs (not full RFC 5869
+/// extract+expand, but the same HMAC counter construction).
+std::vector<std::uint8_t> kdf_sha256(std::span<const std::uint8_t> ikm,
+                                     std::span<const std::uint8_t> label,
+                                     std::size_t out_len);
+
+}  // namespace mic::crypto

@@ -1,0 +1,83 @@
+#include "ctrl/controller.hpp"
+
+#include "common/log.hpp"
+
+namespace mic::ctrl {
+
+Controller::Controller(net::Network& network, HostAddressing addressing,
+                       ControllerConfig config)
+    : network_(network),
+      addressing_(std::move(addressing)),
+      config_(config),
+      paths_(network.graph()) {}
+
+switchd::SdnSwitch* Controller::switch_at(topo::NodeId node) {
+  auto* device = dynamic_cast<switchd::SdnSwitch*>(network_.device(node));
+  MIC_ASSERT_MSG(device != nullptr, "node is not an SDN switch");
+  return device;
+}
+
+void Controller::install_rule(topo::NodeId sw, switchd::FlowRule rule,
+                              bool immediate) {
+  ++rules_installed_;
+  if (immediate) {
+    const bool ok = switch_at(sw)->table().add_rule(std::move(rule));
+    MIC_ASSERT_MSG(ok, "duplicate rule rejected by flow table");
+    return;
+  }
+  network_.simulator().schedule_in(
+      config_.southbound_latency, [this, sw, r = std::move(rule)]() mutable {
+        const bool ok = switch_at(sw)->table().add_rule(std::move(r));
+        if (!ok) log_warn("switch %u rejected duplicate rule", sw);
+      });
+}
+
+void Controller::install_group(topo::NodeId sw, switchd::GroupEntry group,
+                               bool immediate) {
+  if (immediate) {
+    const bool ok = switch_at(sw)->table().add_group(std::move(group));
+    MIC_ASSERT_MSG(ok, "duplicate group rejected by flow table");
+    return;
+  }
+  network_.simulator().schedule_in(
+      config_.southbound_latency, [this, sw, g = std::move(group)]() mutable {
+        switch_at(sw)->table().add_group(std::move(g));
+      });
+}
+
+void Controller::remove_cookie(topo::NodeId sw, std::uint64_t cookie,
+                               bool immediate) {
+  auto do_remove = [this, sw, cookie] {
+    switch_at(sw)->table().remove_by_cookie(cookie);
+    switch_at(sw)->table().remove_groups_by_cookie(cookie);
+  };
+  if (immediate) {
+    do_remove();
+  } else {
+    network_.simulator().schedule_in(config_.southbound_latency, do_remove);
+  }
+}
+
+void Controller::subscribe_packet_in() {
+  for (const topo::NodeId sw : graph().switches()) {
+    switch_at(sw)->set_packet_in_handler(
+        [this](topo::NodeId node, const net::Packet& packet,
+               topo::PortId in_port) {
+          // Deliver after the control-channel latency; copy the packet so
+          // the callback outlives the data-plane buffer.
+          network_.simulator().schedule_in(
+              config_.southbound_latency,
+              [this, node, pkt = packet, in_port] {
+                on_packet_in(node, pkt, in_port);
+              });
+        });
+  }
+}
+
+void Controller::on_packet_in(topo::NodeId sw, const net::Packet& packet,
+                              topo::PortId in_port) {
+  log_debug("packet-in from switch %u port %u (%s -> %s), dropped", sw,
+            in_port, packet.src.str().c_str(), packet.dst.str().c_str());
+}
+
+}  // namespace mic::ctrl

@@ -1,0 +1,92 @@
+// SDN controller framework (the simulated Ryu).
+//
+// The controller owns the global topology view and an all-pairs equal-cost
+// shortest path table (the paper's MC "obtains the global view of the
+// network and calculates all-pairs equal-cost shortest paths when
+// initiation").  Southbound operations (flow-mod, group-mod) are charged a
+// configurable control-channel latency; proactive installs at simulation
+// start are immediate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "switchd/sdn_switch.hpp"
+#include "topology/paths.hpp"
+
+namespace mic::ctrl {
+
+/// Bidirectional host <-> IP mapping, built by the topology glue.
+struct HostAddressing {
+  std::unordered_map<std::uint32_t, topo::NodeId> by_ip;
+  std::unordered_map<topo::NodeId, net::Ipv4> by_node;
+
+  void add(topo::NodeId host, net::Ipv4 ip) {
+    by_ip[ip.value] = host;
+    by_node[host] = ip;
+  }
+
+  net::Ipv4 ip_of(topo::NodeId host) const {
+    const auto it = by_node.find(host);
+    MIC_ASSERT_MSG(it != by_node.end(), "host has no IP");
+    return it->second;
+  }
+
+  topo::NodeId host_of(net::Ipv4 ip) const {
+    const auto it = by_ip.find(ip.value);
+    return it == by_ip.end() ? topo::kInvalidNode : it->second;
+  }
+};
+
+struct ControllerConfig {
+  /// One-way latency of the out-of-band control channel (flow-mod install,
+  /// packet-in delivery).  Mininet's localhost control channel is fast but
+  /// not free.
+  sim::SimTime southbound_latency = sim::microseconds(200);
+};
+
+class Controller {
+ public:
+  Controller(net::Network& network, HostAddressing addressing,
+             ControllerConfig config = {});
+
+  virtual ~Controller() = default;
+
+  net::Network& network() noexcept { return network_; }
+  const topo::Graph& graph() const noexcept { return network_.graph(); }
+  const topo::AllPairsPaths& paths() const noexcept { return paths_; }
+  const HostAddressing& addressing() const noexcept { return addressing_; }
+  const ControllerConfig& config() const noexcept { return config_; }
+
+  switchd::SdnSwitch* switch_at(topo::NodeId node);
+
+  /// Install a rule.  `immediate` bypasses the southbound latency (used for
+  /// proactive installs at startup).
+  void install_rule(topo::NodeId sw, switchd::FlowRule rule,
+                    bool immediate = false);
+  void install_group(topo::NodeId sw, switchd::GroupEntry group,
+                     bool immediate = false);
+  /// Remove every rule and group tagged with `cookie` on `sw`.
+  void remove_cookie(topo::NodeId sw, std::uint64_t cookie,
+                     bool immediate = false);
+
+  /// Route packet-ins from every switch to on_packet_in().
+  void subscribe_packet_in();
+
+  /// Called (after the southbound latency) when a switch reports a table
+  /// miss or executes a ToController action.
+  virtual void on_packet_in(topo::NodeId sw, const net::Packet& packet,
+                            topo::PortId in_port);
+
+  std::uint64_t rules_installed() const noexcept { return rules_installed_; }
+
+ private:
+  net::Network& network_;
+  HostAddressing addressing_;
+  ControllerConfig config_;
+  topo::AllPairsPaths paths_;
+  std::uint64_t rules_installed_ = 0;
+};
+
+}  // namespace mic::ctrl

@@ -1,0 +1,142 @@
+#include "ctrl/l3_routing.hpp"
+
+#include <optional>
+
+namespace mic::ctrl {
+
+namespace {
+
+const std::unordered_set<topo::LinkId> kNoFailures;
+
+/// All equal-cost next-hop ports from `sw` toward host `dst` under the
+/// given (possibly failure-filtered) path table; sorted by peer id for
+/// determinism.  Empty when the destination is unreachable.
+std::vector<topo::PortId> next_hop_ports(
+    const Controller& controller, const topo::AllPairsPaths& paths,
+    topo::NodeId sw, topo::NodeId dst,
+    const std::unordered_set<topo::LinkId>& failed) {
+  const auto& graph = controller.graph();
+  const std::uint32_t d = paths.distance(sw, dst);
+  if (d == topo::AllPairsPaths::kUnreachable) return {};
+
+  std::vector<std::pair<topo::NodeId, topo::PortId>> candidates;
+  for (const auto& adj : graph.neighbors(sw)) {
+    if (failed.contains(adj.link)) continue;
+    const bool on_shortest =
+        adj.peer == dst ||
+        (graph.is_switch(adj.peer) && paths.distance(adj.peer, dst) == d - 1);
+    if (on_shortest) candidates.push_back({adj.peer, adj.local_port});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<topo::PortId> ports;
+  for (const auto& [peer, port] : candidates) ports.push_back(port);
+  return ports;
+}
+
+void install_rules(Controller& controller,
+                   const L3RoutingApp::CfLabelPolicy& policy,
+                   const std::unordered_set<topo::LinkId>& failed) {
+  const auto& graph = controller.graph();
+  const auto hosts = graph.hosts();
+
+  // Distances must reflect the failures, or upstream ECMP keeps hashing
+  // flows toward switches that can no longer reach the destination.
+  std::optional<topo::AllPairsPaths> filtered;
+  if (!failed.empty()) filtered.emplace(graph, &failed);
+  const topo::AllPairsPaths& paths =
+      filtered.has_value() ? *filtered : controller.paths();
+
+  for (const topo::NodeId sw : graph.switches()) {
+    // Hosts attached directly to this switch (it is their edge switch).
+    std::vector<std::pair<topo::NodeId, topo::PortId>> local_hosts;
+    for (const auto& adj : graph.neighbors(sw)) {
+      if (graph.is_host(adj.peer) && !failed.contains(adj.link)) {
+        local_hosts.push_back({adj.peer, adj.local_port});
+      }
+    }
+
+    for (std::size_t dst_index = 0; dst_index < hosts.size(); ++dst_index) {
+      const topo::NodeId dst = hosts[dst_index];
+      const net::Ipv4 dst_ip = controller.addressing().ip_of(dst);
+
+      // Egress: deliver to an attached host, stripping the CF tag.
+      bool is_local = false;
+      for (const auto& [host, port] : local_hosts) {
+        if (host == dst) {
+          switchd::FlowRule rule;
+          rule.priority = kPriorityEgress;
+          rule.match.dst = dst_ip;
+          rule.actions = {switchd::PopMpls{}, switchd::Output{port}};
+          rule.cookie = kL3Cookie;
+          controller.install_rule(sw, std::move(rule), /*immediate=*/true);
+          is_local = true;
+          break;
+        }
+      }
+      if (is_local) continue;
+
+      const auto ports = next_hop_ports(controller, paths, sw, dst, failed);
+      if (ports.empty()) continue;  // unreachable after failures
+
+      // With multiple equal-cost next hops install a SELECT group (ECMP,
+      // hashing the 5-tuple), otherwise plain output.
+      switchd::Action forward_action = switchd::Output{ports[0]};
+      if (ports.size() > 1) {
+        switchd::GroupEntry group;
+        // L3 group ids live in the high range so they can never collide
+        // with the Mimic Controller's multicast groups.
+        group.group_id = 0x80000000u | static_cast<std::uint32_t>(dst_index);
+        group.type = switchd::GroupType::kSelect;
+        group.cookie = kL3Cookie;
+        for (const topo::PortId port : ports) {
+          group.buckets.push_back({switchd::Output{port}});
+        }
+        const std::uint32_t group_id = group.group_id;
+        controller.install_group(sw, std::move(group), /*immediate=*/true);
+        forward_action = switchd::GroupAction{group_id};
+      }
+
+      // Transit: forward on destination alone, any label state.
+      {
+        switchd::FlowRule rule;
+        rule.priority = kPriorityTransit;
+        rule.match.dst = dst_ip;
+        rule.actions = {forward_action};
+        rule.cookie = kL3Cookie;
+        controller.install_rule(sw, std::move(rule), /*immediate=*/true);
+      }
+
+      // Ingress tagging: traffic entering fresh from an attached host gets
+      // a CF label before leaving the edge.
+      for (const auto& [src_host, host_port] : local_hosts) {
+        const net::MplsLabel label = policy(src_host);
+        MIC_ASSERT_MSG(label != net::kNoMpls, "CF label must be non-zero");
+        switchd::FlowRule rule;
+        rule.priority = kPriorityIngressTag;
+        rule.match.in_port = host_port;
+        rule.match.dst = dst_ip;
+        rule.match.require_no_mpls = true;
+        rule.actions = {switchd::SetMpls{label}, forward_action};
+        rule.cookie = kL3Cookie;
+        controller.install_rule(sw, std::move(rule), /*immediate=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void L3RoutingApp::install(Controller& controller, CfLabelPolicy policy) {
+  install_rules(controller, policy, kNoFailures);
+}
+
+void L3RoutingApp::reroute_around(
+    Controller& controller, CfLabelPolicy policy,
+    const std::unordered_set<topo::LinkId>& failed) {
+  for (const topo::NodeId sw : controller.graph().switches()) {
+    controller.remove_cookie(sw, kL3Cookie, /*immediate=*/true);
+  }
+  install_rules(controller, policy, failed);
+}
+
+}  // namespace mic::ctrl

@@ -1,0 +1,57 @@
+// Proactive L3 shortest-path routing for common (non-mimic) flows.
+//
+// Per the paper's collision-avoidance design, common flows are tagged with
+// MPLS labels from the CF category at the ingress edge switch and the tag
+// is popped at the egress edge.  Transit switches forward on destination IP
+// alone.  M-flow rules (installed later by the Mimic Controller) sit at a
+// higher priority and match exact three-tuples including an MF label, so
+// the two rule families can never capture each other's traffic.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "ctrl/controller.hpp"
+
+namespace mic::ctrl {
+
+/// Priorities shared across the rule families; MIC's rules must outrank the
+/// default routing.
+inline constexpr std::uint16_t kPriorityMFlow = 100;
+inline constexpr std::uint16_t kPriorityDecoyDrop = 110;
+inline constexpr std::uint16_t kPriorityEgress = 30;
+inline constexpr std::uint16_t kPriorityIngressTag = 25;
+inline constexpr std::uint16_t kPriorityTransit = 20;
+
+inline constexpr std::uint64_t kL3Cookie = 0x4c335254ULL;  // "L3RT"
+
+class L3RoutingApp {
+ public:
+  /// Supplies the CF label to tag a common flow entering at `ingress_host`.
+  /// Must never return kNoMpls.  The Mimic Controller supplies a policy
+  /// backed by its MPLS space partitioning; standalone tests can use
+  /// `fixed_label_policy`.
+  using CfLabelPolicy = std::function<net::MplsLabel(topo::NodeId ingress_host)>;
+
+  static net::MplsLabel fixed_label_policy(topo::NodeId) {
+    return 0xC0FFEE01u;
+  }
+
+  /// Install the full proactive rule set on every switch:
+  ///  - ingress edge: per (host port, dst) rule tagging with a CF label and
+  ///    forwarding,
+  ///  - transit: per-dst forwarding,
+  ///  - egress edge: per attached host, pop + deliver.
+  static void install(Controller& controller,
+                      CfLabelPolicy policy = fixed_label_policy);
+
+  /// Fast failover for common flows: drop the whole L3 rule set and
+  /// reinstall it with next-hop candidates adjacent to a failed link
+  /// excluded.  Multi-hop avoidance is not attempted (equal-cost multipath
+  /// absorbs single-link failures in Clos fabrics); destinations that
+  /// become locally unreachable are skipped.
+  static void reroute_around(Controller& controller, CfLabelPolicy policy,
+                             const std::unordered_set<topo::LinkId>& failed);
+};
+
+}  // namespace mic::ctrl

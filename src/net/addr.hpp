@@ -1,0 +1,52 @@
+// Network address types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mic::net {
+
+/// IPv4 address in host byte order.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) noexcept : value(v) {}
+  constexpr Ipv4(int a, int b, int c, int d) noexcept
+      : value((static_cast<std::uint32_t>(a) << 24) |
+              (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) |
+              static_cast<std::uint32_t>(d)) {}
+
+  constexpr bool operator==(const Ipv4&) const noexcept = default;
+  constexpr auto operator<=>(const Ipv4&) const noexcept = default;
+
+  constexpr int octet(int i) const noexcept {
+    return static_cast<int>((value >> (8 * (3 - i))) & 0xff);
+  }
+
+  std::string str() const {
+    return std::to_string(octet(0)) + "." + std::to_string(octet(1)) + "." +
+           std::to_string(octet(2)) + "." + std::to_string(octet(3));
+  }
+};
+
+using L4Port = std::uint16_t;
+
+/// MPLS label.  Real MPLS labels are 20 bits; MIC's MAGA partitions a
+/// 32-bit label value that a deployment would carry as a two-label stack
+/// (see DESIGN.md).  We model the combined 32-bit value directly.
+using MplsLabel = std::uint32_t;
+
+inline constexpr MplsLabel kNoMpls = 0;
+
+struct Ipv4Hash {
+  std::size_t operator()(const Ipv4& ip) const noexcept {
+    // splitmix-style scramble
+    std::uint64_t z = ip.value + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace mic::net

@@ -1,0 +1,115 @@
+#include "net/network.hpp"
+
+namespace mic::net {
+
+Network::Network(sim::Simulator& simulator, const topo::Graph& graph,
+                 LinkConfig default_link, std::uint64_t loss_seed)
+    : sim_(simulator), graph_(graph), loss_rng_(loss_seed) {
+  devices_.resize(graph.size());
+  directions_.resize(2 * graph.link_count());
+
+  // Discover both directions of every link from the adjacency lists.
+  for (topo::NodeId n = 0; n < graph.size(); ++n) {
+    for (const auto& adj : graph.neighbors(n)) {
+      // Each link appears twice (once per endpoint); record the direction
+      // n -> adj.peer.  Slot 0 of a link is the direction leaving the lower
+      // node id, slot 1 the reverse, which makes indexing deterministic.
+      const std::size_t slot = n < adj.peer ? 0 : 1;
+      Direction& dir = directions_[2 * adj.link + slot];
+      dir.from = n;
+      dir.to = adj.peer;
+      dir.to_port = adj.peer_port;
+      dir.config = default_link;
+    }
+  }
+}
+
+void Network::set_device(topo::NodeId node, std::unique_ptr<Device> device) {
+  MIC_ASSERT(node < devices_.size());
+  device->attach(this, node);
+  devices_[node] = std::move(device);
+}
+
+void Network::configure_link(topo::LinkId link, LinkConfig config) {
+  MIC_ASSERT(2 * link + 1 < directions_.size());
+  directions_[2 * link].config = config;
+  directions_[2 * link + 1].config = config;
+}
+
+void Network::set_link_up(topo::LinkId link, bool up) {
+  MIC_ASSERT(2 * link + 1 < directions_.size());
+  directions_[2 * link].up = up;
+  directions_[2 * link + 1].up = up;
+}
+
+void Network::add_link_tap(topo::LinkId link, Tap tap) {
+  MIC_ASSERT(2 * link + 1 < directions_.size());
+  directions_[2 * link].taps.push_back(tap);
+  directions_[2 * link + 1].taps.push_back(std::move(tap));
+}
+
+void Network::add_global_tap(Tap tap) { global_taps_.push_back(std::move(tap)); }
+
+bool Network::transmit(topo::NodeId node, topo::PortId out_port,
+                       Packet packet) {
+  MIC_ASSERT(out_port < graph_.port_count(node));
+  const topo::Adjacency& adj = graph_.out_port(node, out_port);
+  const std::size_t slot = node < adj.peer ? 0 : 1;
+  Direction& dir = directions_[2 * adj.link + slot];
+
+  if (!dir.up) {
+    ++dir.stats.drops;
+    return false;
+  }
+  if (dir.config.random_drop_probability > 0.0 &&
+      loss_rng_.chance(dir.config.random_drop_probability)) {
+    ++dir.stats.drops;
+    return false;
+  }
+
+  const std::uint32_t wire = packet.wire_bytes();
+  if (dir.queued_bytes + wire > dir.config.queue_capacity_bytes) {
+    ++dir.stats.drops;
+    return false;
+  }
+
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime start = now > dir.busy_until ? now : dir.busy_until;
+  const sim::SimTime tx_done =
+      start + sim::transmission_delay(wire, dir.config.bandwidth_bps);
+  const sim::SimTime arrival = tx_done + dir.config.propagation_delay;
+
+  dir.busy_until = tx_done;
+  dir.queued_bytes += wire;
+  ++dir.stats.packets;
+  dir.stats.bytes += wire;
+
+  // Taps observe at transmission start: the adversary sees the wire.
+  for (const auto& tap : dir.taps) tap(adj.link, node, adj.peer, packet, start);
+  for (const auto& tap : global_taps_) {
+    tap(adj.link, node, adj.peer, packet, start);
+  }
+
+  Direction* dir_ptr = &dir;
+  sim_.schedule_at(tx_done, [dir_ptr, wire] {
+    MIC_ASSERT(dir_ptr->queued_bytes >= wire);
+    dir_ptr->queued_bytes -= wire;
+  });
+
+  const topo::NodeId to = adj.peer;
+  const topo::PortId to_port = adj.peer_port;
+  sim_.schedule_at(arrival, [this, to, to_port, pkt = std::move(packet)] {
+    Device* device = devices_[to].get();
+    MIC_ASSERT_MSG(device != nullptr, "packet arrived at node without device");
+    device->receive(pkt, to_port);
+  });
+  return true;
+}
+
+std::uint64_t Network::total_drops() const noexcept {
+  std::uint64_t drops = 0;
+  for (const auto& dir : directions_) drops += dir.stats.drops;
+  return drops;
+}
+
+}  // namespace mic::net

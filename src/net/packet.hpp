@@ -1,0 +1,75 @@
+// Simulated packet.
+//
+// Carries the header fields the MIC data plane rewrites (IPv4 addresses,
+// L4 ports, an MPLS label) plus transport metadata and an optional real
+// payload.  Bulk traffic uses "virtual" payloads (a length and a content
+// tag) so multi-gigabyte transfers do not allocate; control traffic carries
+// real bytes so the crypto paths run end to end.
+//
+// `content_tag` is a stable fingerprint of the payload: the paper's
+// adversary "can correlate [packets] by checking the contents of each
+// packet" because MNs re-write headers but never touch payloads.  The
+// anonymity module's correlation attacks match on this tag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace mic::net {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+struct TcpInfo {
+  std::uint64_t seq = 0;       // stream offset of first payload byte
+  std::uint64_t ack_seq = 0;   // cumulative ack (next expected offset)
+  TcpFlags flags;
+  std::uint32_t payload_len = 0;
+};
+
+/// Fixed per-packet overheads, bytes.
+inline constexpr std::uint32_t kEthIpTcpHeaderBytes = 14 + 20 + 20;
+inline constexpr std::uint32_t kMplsHeaderBytes = 4;
+inline constexpr std::uint32_t kTcpMss = 1460;
+
+struct Packet {
+  // --- fields an MN may rewrite -------------------------------------------
+  Ipv4 src;
+  Ipv4 dst;
+  L4Port sport = 0;
+  L4Port dport = 0;
+  MplsLabel mpls = kNoMpls;  // kNoMpls means no label present
+
+  IpProto proto = IpProto::kTcp;
+
+  // --- transport ----------------------------------------------------------
+  TcpInfo tcp;
+
+  // --- payload ------------------------------------------------------------
+  // Real bytes (control traffic) or empty for virtual payloads.
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  /// Fingerprint of the payload contents; equal payloads have equal tags.
+  std::uint64_t content_tag = 0;
+
+  // --- bookkeeping (not visible on the wire) ------------------------------
+  std::uint64_t packet_id = 0;  // unique per send, for tracing
+
+  std::uint32_t payload_bytes() const noexcept { return tcp.payload_len; }
+
+  /// Total wire size, including L2-L4 headers and MPLS if present.
+  std::uint32_t wire_bytes() const noexcept {
+    return kEthIpTcpHeaderBytes + (mpls != kNoMpls ? kMplsHeaderBytes : 0) +
+           tcp.payload_len;
+  }
+};
+
+}  // namespace mic::net

@@ -1,0 +1,88 @@
+#include "net/trace.hpp"
+
+#include <cinttypes>
+
+#include "common/assert.hpp"
+
+namespace mic::net {
+
+TraceWriter::TraceWriter(Network& network, const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  MIC_ASSERT_MSG(file_ != nullptr, "cannot open trace file for writing");
+  std::fputs(
+      "time_ns\tlink\tfrom\tto\tsrc\tdst\tsport\tdport\tmpls\tbytes\t"
+      "payload\ttag\n",
+      file_);
+  network.add_global_tap([this](topo::LinkId link, topo::NodeId from,
+                                topo::NodeId to, const Packet& packet,
+                                sim::SimTime time) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "%" PRIu64 "\t%u\t%u\t%u\t%s\t%s\t%u\t%u\t%u\t%u\t%u\t%" PRIx64
+                 "\n",
+                 time, link, from, to, packet.src.str().c_str(),
+                 packet.dst.str().c_str(), packet.sport, packet.dport,
+                 packet.mpls, packet.wire_bytes(), packet.payload_bytes(),
+                 packet.content_tag);
+    ++entries_;
+  });
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+namespace {
+
+Ipv4 parse_ip(const char* s) {
+  int a = 0, b = 0, c = 0, d = 0;
+  std::sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d);
+  return Ipv4(a, b, c, d);
+}
+
+}  // namespace
+
+std::vector<TraceEntry> load_trace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  MIC_ASSERT_MSG(file != nullptr, "cannot open trace file for reading");
+  std::vector<TraceEntry> entries;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    TraceEntry entry;
+    char src[64] = {0};
+    char dst[64] = {0};
+    unsigned link, from, to, sport, dport, mpls, bytes, payload;
+    std::uint64_t time_ns, tag;
+    const int fields = std::sscanf(
+        line,
+        "%" SCNu64 "\t%u\t%u\t%u\t%63s\t%63s\t%u\t%u\t%u\t%u\t%u\t%" SCNx64,
+        &time_ns, &link, &from, &to, src, dst, &sport, &dport, &mpls, &bytes,
+        &payload, &tag);
+    if (fields != 12) continue;
+    entry.time = time_ns;
+    entry.link = link;
+    entry.from = from;
+    entry.to = to;
+    entry.src = parse_ip(src);
+    entry.dst = parse_ip(dst);
+    entry.sport = static_cast<L4Port>(sport);
+    entry.dport = static_cast<L4Port>(dport);
+    entry.mpls = mpls;
+    entry.wire_bytes = bytes;
+    entry.payload_bytes = payload;
+    entry.content_tag = tag;
+    entries.push_back(entry);
+  }
+  std::fclose(file);
+  return entries;
+}
+
+}  // namespace mic::net

@@ -1,0 +1,41 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace mic::sim {
+
+using SimTime = std::uint64_t;  // nanoseconds
+
+inline constexpr SimTime kNever = ~0ULL;
+
+constexpr SimTime nanoseconds(std::uint64_t ns) noexcept { return ns; }
+constexpr SimTime microseconds(std::uint64_t us) noexcept {
+  return us * 1000ULL;
+}
+constexpr SimTime milliseconds(std::uint64_t ms) noexcept {
+  return ms * 1000000ULL;
+}
+constexpr SimTime seconds(std::uint64_t s) noexcept {
+  return s * 1000000000ULL;
+}
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-6;
+}
+constexpr double to_micros(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-3;
+}
+
+/// Duration of serializing `bytes` onto a link of `bits_per_second`.
+constexpr SimTime transmission_delay(std::uint64_t bytes,
+                                     std::uint64_t bits_per_second) noexcept {
+  // Round up so zero-cost transmission cannot happen on a finite link.
+  const std::uint64_t bits = bytes * 8ULL;
+  return (bits * 1000000000ULL + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace mic::sim

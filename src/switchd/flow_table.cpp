@@ -1,0 +1,98 @@
+#include "switchd/flow_table.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mic::switchd {
+
+std::size_t count_set_fields(const std::vector<Action>& actions) noexcept {
+  std::size_t n = 0;
+  for (const auto& action : actions) {
+    if (std::holds_alternative<SetSrc>(action) ||
+        std::holds_alternative<SetDst>(action) ||
+        std::holds_alternative<SetSport>(action) ||
+        std::holds_alternative<SetDport>(action) ||
+        std::holds_alternative<SetMpls>(action) ||
+        std::holds_alternative<PopMpls>(action)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t select_bucket(const net::Packet& packet, std::size_t bucket_count,
+                          std::uint64_t salt) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(packet.src.value);
+  mix(packet.dst.value);
+  mix(packet.sport);
+  mix(packet.dport);
+  mix(static_cast<std::uint64_t>(packet.proto));
+  // FNV's low bits are weak (linear in the inputs' low bits); finish with
+  // a full-avalanche scrambler before reducing.
+  std::uint64_t state = h;
+  return static_cast<std::size_t>(splitmix64(state) % bucket_count);
+}
+
+bool FlowTable::add_rule(FlowRule rule) {
+  for (const auto& existing : rules_) {
+    if (existing.priority == rule.priority && existing.match == rule.match) {
+      return false;
+    }
+  }
+  const auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const FlowRule& a, const FlowRule& b) {
+        return a.priority > b.priority;
+      });
+  rules_.insert(pos, std::move(rule));
+  return true;
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [cookie](const FlowRule& r) {
+    return r.cookie == cookie;
+  });
+  return before - rules_.size();
+}
+
+FlowRule* FlowTable::lookup(const net::Packet& packet, topo::PortId in_port,
+                            std::uint32_t wire_bytes) {
+  for (auto& rule : rules_) {
+    if (rule.match.matches(packet, in_port)) {
+      ++rule.packet_count;
+      rule.byte_count += wire_bytes;
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+bool FlowTable::add_group(GroupEntry group) {
+  if (this->group(group.group_id) != nullptr) return false;
+  groups_.push_back(std::move(group));
+  return true;
+}
+
+std::size_t FlowTable::remove_groups_by_cookie(std::uint64_t cookie) {
+  const auto before = groups_.size();
+  std::erase_if(groups_, [cookie](const GroupEntry& g) {
+    return g.cookie == cookie;
+  });
+  return before - groups_.size();
+}
+
+const GroupEntry* FlowTable::group(std::uint32_t group_id) const noexcept {
+  for (const auto& g : groups_) {
+    if (g.group_id == group_id) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace mic::switchd

@@ -1,0 +1,135 @@
+// OpenFlow-style flow table: priority-ordered rules with maskable match
+// fields and an ordered action list.  This is the entire per-switch state
+// MIC relies on -- the paper's MNs "can only modify the header of packets",
+// i.e. execute set-field actions from rules the Mimic Controller installed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "topology/graph.hpp"
+
+namespace mic::switchd {
+
+/// Match on any subset of fields; an unset optional is a wildcard.
+/// `mpls` matches the label value; `require_no_mpls` matches only untagged
+/// packets (an unset `mpls` with require_no_mpls=false matches any label
+/// state).
+struct Match {
+  std::optional<topo::PortId> in_port;
+  std::optional<net::Ipv4> src;
+  std::optional<net::Ipv4> dst;
+  std::optional<net::L4Port> sport;
+  std::optional<net::L4Port> dport;
+  std::optional<net::MplsLabel> mpls;
+  bool require_no_mpls = false;
+
+  bool matches(const net::Packet& packet, topo::PortId in) const noexcept {
+    if (in_port && *in_port != in) return false;
+    if (src && *src != packet.src) return false;
+    if (dst && *dst != packet.dst) return false;
+    if (sport && *sport != packet.sport) return false;
+    if (dport && *dport != packet.dport) return false;
+    if (require_no_mpls && packet.mpls != net::kNoMpls) return false;
+    if (mpls && *mpls != packet.mpls) return false;
+    return true;
+  }
+
+  bool operator==(const Match&) const noexcept = default;
+};
+
+// --- actions ---------------------------------------------------------------
+
+struct SetSrc { net::Ipv4 ip; };
+struct SetDst { net::Ipv4 ip; };
+struct SetSport { net::L4Port port; };
+struct SetDport { net::L4Port port; };
+struct SetMpls { net::MplsLabel label; };  // push or rewrite
+struct PopMpls {};
+struct Output { topo::PortId port; };
+struct GroupAction { std::uint32_t group_id; };
+struct ToController {};
+struct DropAction {};
+
+using Action = std::variant<SetSrc, SetDst, SetSport, SetDport, SetMpls,
+                            PopMpls, Output, GroupAction, ToController,
+                            DropAction>;
+
+/// Number of header-rewriting set-field actions in a list (for CPU cost).
+std::size_t count_set_fields(const std::vector<Action>& actions) noexcept;
+
+struct FlowRule {
+  std::uint16_t priority = 0;
+  Match match;
+  std::vector<Action> actions;
+  std::uint64_t cookie = 0;  // owner tag; channels delete rules by cookie
+
+  // Counters (mutable through the table).
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+enum class GroupType : std::uint8_t {
+  /// Every bucket executes on its own copy of the packet.  MIC's
+  /// partially-multicast mechanism uses one bucket per replicated copy.
+  kAll,
+  /// One bucket is chosen by a stable hash of the flow's addresses and
+  /// ports -- OpenFlow's ECMP primitive, used by the default routing to
+  /// spread common flows over equal-cost paths.
+  kSelect,
+};
+
+struct GroupEntry {
+  std::uint32_t group_id = 0;
+  GroupType type = GroupType::kAll;
+  std::vector<std::vector<Action>> buckets;
+  std::uint64_t cookie = 0;
+};
+
+/// The SELECT-group bucket index for a packet: a stable 5-tuple hash
+/// (labels excluded so tagging does not re-path a flow).  `salt`
+/// decorrelates decisions across group instances -- without it every
+/// ECMP stage on a path would pick the same bucket index, collapsing the
+/// effective path diversity (real switches salt with the switch identity).
+std::size_t select_bucket(const net::Packet& packet, std::size_t bucket_count,
+                          std::uint64_t salt) noexcept;
+
+class FlowTable {
+ public:
+  /// Insert a rule.  Duplicate (priority, match) pairs are rejected --
+  /// this is the data-plane half of the collision avoidance story, and the
+  /// collision audit in mic/collision_audit.hpp checks it globally.
+  /// Returns false (and installs nothing) on duplicates.
+  bool add_rule(FlowRule rule);
+
+  /// Remove all rules with the given cookie; returns how many were removed.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+
+  /// Highest-priority matching rule, or nullptr on table miss.  Counters
+  /// are updated on hit.
+  FlowRule* lookup(const net::Packet& packet, topo::PortId in_port,
+                   std::uint32_t wire_bytes);
+
+  bool add_group(GroupEntry group);
+  std::size_t remove_groups_by_cookie(std::uint64_t cookie);
+  const GroupEntry* group(std::uint32_t group_id) const noexcept;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  std::uint64_t miss_count() const noexcept { return misses_; }
+  void count_miss() noexcept { ++misses_; }
+
+  const std::vector<FlowRule>& rules() const noexcept { return rules_; }
+
+ private:
+  // Sorted by descending priority; stable within equal priority
+  // (first-installed wins, like OVS).
+  std::vector<FlowRule> rules_;
+  std::vector<GroupEntry> groups_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mic::switchd

@@ -1,0 +1,90 @@
+#include "switchd/sdn_switch.hpp"
+
+#include "common/log.hpp"
+
+namespace mic::switchd {
+
+void SdnSwitch::receive(const net::Packet& packet, topo::PortId in_port) {
+  // The lookup itself costs CPU; the packet continues processing when the
+  // (serial) switch CPU gets to it.
+  const sim::SimTime done =
+      cpu_.charge(network_->simulator().now(), costs_.switch_lookup_cycles);
+
+  net::Packet copy = packet;
+  network_->simulator().schedule_at(done, [this, pkt = std::move(copy),
+                                           in_port] {
+    FlowRule* rule = table_.lookup(pkt, in_port, pkt.wire_bytes());
+    if (rule == nullptr) {
+      table_.count_miss();
+      if (packet_in_) {
+        packet_in_(node_, pkt, in_port);
+      } else {
+        ++dropped_;
+      }
+      return;
+    }
+    apply_actions(rule->actions, pkt, in_port, /*allow_group=*/true);
+  });
+}
+
+void SdnSwitch::apply_actions(const std::vector<Action>& actions,
+                              net::Packet packet, topo::PortId in_port,
+                              bool allow_group) {
+  const std::size_t rewrites = count_set_fields(actions);
+  if (rewrites > 0) {
+    cpu_.charge(network_->simulator().now(),
+                costs_.switch_rewrite_cycles * static_cast<double>(rewrites));
+  }
+
+  for (const auto& action : actions) {
+    if (const auto* set = std::get_if<SetSrc>(&action)) {
+      packet.src = set->ip;
+    } else if (const auto* set = std::get_if<SetDst>(&action)) {
+      packet.dst = set->ip;
+    } else if (const auto* set = std::get_if<SetSport>(&action)) {
+      packet.sport = set->port;
+    } else if (const auto* set = std::get_if<SetDport>(&action)) {
+      packet.dport = set->port;
+    } else if (const auto* set = std::get_if<SetMpls>(&action)) {
+      packet.mpls = set->label;
+    } else if (std::get_if<PopMpls>(&action)) {
+      packet.mpls = net::kNoMpls;
+    } else if (const auto* out = std::get_if<Output>(&action)) {
+      ++forwarded_;
+      network_->transmit(node_, out->port, packet);
+    } else if (const auto* grp = std::get_if<GroupAction>(&action)) {
+      MIC_ASSERT_MSG(allow_group, "group chaining is not allowed");
+      const GroupEntry* group = table_.group(grp->group_id);
+      if (group == nullptr) {
+        log_warn("switch %u: group %u not found", node_, grp->group_id);
+        ++dropped_;
+        return;
+      }
+      if (group->type == GroupType::kSelect) {
+        // ECMP: one bucket, chosen by the flow hash.
+        cpu_.charge(network_->simulator().now(),
+                    costs_.switch_group_copy_cycles);
+        const std::size_t index = select_bucket(
+            packet, group->buckets.size(),
+            (static_cast<std::uint64_t>(node_) << 32) ^ group->group_id);
+        apply_actions(group->buckets[index], packet, in_port,
+                      /*allow_group=*/false);
+      } else {
+        // ALL group: every bucket acts on its own copy.
+        cpu_.charge(network_->simulator().now(),
+                    costs_.switch_group_copy_cycles *
+                        static_cast<double>(group->buckets.size()));
+        for (const auto& bucket : group->buckets) {
+          apply_actions(bucket, packet, in_port, /*allow_group=*/false);
+        }
+      }
+    } else if (std::get_if<ToController>(&action)) {
+      if (packet_in_) packet_in_(node_, packet, in_port);
+    } else if (std::get_if<DropAction>(&action)) {
+      ++dropped_;
+      return;
+    }
+  }
+}
+
+}  // namespace mic::switchd

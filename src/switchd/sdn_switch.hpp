@@ -1,0 +1,52 @@
+// SDN switch device: the simulated equivalent of the paper's Open vSwitch
+// instances.  Pipeline per packet: charge a flow-table lookup on the switch
+// CPU, apply the matched rule's actions (each set-field charged separately,
+// each group-bucket copy charged separately), and transmit.
+//
+// Table misses invoke the packet-in hook (the controller's southbound
+// channel) or drop when no hook is installed.
+#pragma once
+
+#include <functional>
+
+#include "crypto/cost_model.hpp"
+#include "net/network.hpp"
+#include "switchd/flow_table.hpp"
+
+namespace mic::switchd {
+
+class SdnSwitch : public net::Device {
+ public:
+  using PacketInHandler =
+      std::function<void(topo::NodeId sw, const net::Packet&, topo::PortId)>;
+
+  explicit SdnSwitch(const crypto::CostModel& costs =
+                         crypto::default_cost_model())
+      : costs_(costs) {}
+
+  FlowTable& table() noexcept { return table_; }
+  const FlowTable& table() const noexcept { return table_; }
+
+  void set_packet_in_handler(PacketInHandler handler) {
+    packet_in_ = std::move(handler);
+  }
+
+  void receive(const net::Packet& packet, topo::PortId in_port) override;
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  /// Execute an action list on (a copy of) the packet; may recurse into
+  /// groups one level deep (OpenFlow forbids group->group chaining).
+  void apply_actions(const std::vector<Action>& actions, net::Packet packet,
+                     topo::PortId in_port, bool allow_group);
+
+  const crypto::CostModel& costs_;
+  FlowTable table_;
+  PacketInHandler packet_in_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mic::switchd

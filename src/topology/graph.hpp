@@ -1,0 +1,117 @@
+// Network graph: typed nodes (hosts / switches) joined by point-to-point
+// links with per-node port numbering, mirroring how an SDN controller sees
+// a data-center fabric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mic::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using PortId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = ~0u;
+inline constexpr LinkId kInvalidLink = ~0u;
+inline constexpr PortId kInvalidPort = ~static_cast<PortId>(0);
+
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+/// One endpoint's view of an attached link.
+struct Adjacency {
+  NodeId peer = kInvalidNode;
+  PortId local_port = kInvalidPort;
+  PortId peer_port = kInvalidPort;
+  LinkId link = 0;
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind) {
+    kinds_.push_back(kind);
+    adjacency_.emplace_back();
+    return static_cast<NodeId>(kinds_.size() - 1);
+  }
+
+  /// Connects two nodes with a bidirectional link; ports are assigned in
+  /// attachment order on each side.
+  LinkId add_link(NodeId a, NodeId b) {
+    MIC_ASSERT(a < size() && b < size() && a != b);
+    const LinkId link = static_cast<LinkId>(link_endpoints_.size());
+    const PortId port_a = static_cast<PortId>(adjacency_[a].size());
+    const PortId port_b = static_cast<PortId>(adjacency_[b].size());
+    adjacency_[a].push_back({b, port_a, port_b, link});
+    adjacency_[b].push_back({a, port_b, port_a, link});
+    link_endpoints_.push_back({a, b});
+    return link;
+  }
+
+  std::size_t size() const noexcept { return kinds_.size(); }
+  std::size_t link_count() const noexcept { return link_endpoints_.size(); }
+
+  NodeKind kind(NodeId n) const noexcept { return kinds_[n]; }
+  bool is_host(NodeId n) const noexcept { return kinds_[n] == NodeKind::kHost; }
+  bool is_switch(NodeId n) const noexcept {
+    return kinds_[n] == NodeKind::kSwitch;
+  }
+
+  std::span<const Adjacency> neighbors(NodeId n) const noexcept {
+    return adjacency_[n];
+  }
+
+  std::size_t port_count(NodeId n) const noexcept {
+    return adjacency_[n].size();
+  }
+
+  /// The adjacency reachable out of a given local port.
+  const Adjacency& out_port(NodeId n, PortId port) const noexcept {
+    MIC_ASSERT(port < adjacency_[n].size());
+    return adjacency_[n][port];
+  }
+
+  /// Local port on `n` that faces `peer`; kInvalidPort if not adjacent.
+  PortId port_towards(NodeId n, NodeId peer) const noexcept {
+    for (const auto& adj : adjacency_[n]) {
+      if (adj.peer == peer) return adj.local_port;
+    }
+    return kInvalidPort;
+  }
+
+  /// The link joining two adjacent nodes; kInvalidLink if not adjacent.
+  LinkId link_between(NodeId a, NodeId b) const noexcept {
+    for (const auto& adj : adjacency_[a]) {
+      if (adj.peer == b) return adj.link;
+    }
+    return kInvalidLink;
+  }
+
+  std::vector<NodeId> hosts() const {
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < size(); ++n) {
+      if (is_host(n)) out.push_back(n);
+    }
+    return out;
+  }
+
+  std::vector<NodeId> switches() const {
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < size(); ++n) {
+      if (is_switch(n)) out.push_back(n);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<std::pair<NodeId, NodeId>> link_endpoints_;
+};
+
+/// A path is the full node sequence src, s1, ..., sn, dst.
+using Path = std::vector<NodeId>;
+
+}  // namespace mic::topo

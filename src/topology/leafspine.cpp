@@ -1,0 +1,38 @@
+#include "topology/leafspine.hpp"
+
+namespace mic::topo {
+
+LeafSpine::LeafSpine(int spines, int leaves, int hosts_per_leaf) {
+  MIC_ASSERT_MSG(spines >= 1 && leaves >= 2 && hosts_per_leaf >= 1,
+                 "leaf-spine needs >= 1 spine, >= 2 leaves, >= 1 host/leaf");
+  MIC_ASSERT_MSG(leaves <= 250 && hosts_per_leaf <= 250,
+                 "addressing supports at most 250 leaves x 250 hosts");
+
+  for (int s = 0; s < spines; ++s) {
+    spines_.push_back(graph_.add_node(NodeKind::kSwitch));
+  }
+  for (int l = 0; l < leaves; ++l) {
+    const NodeId leaf = graph_.add_node(NodeKind::kSwitch);
+    leaves_.push_back(leaf);
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = graph_.add_node(NodeKind::kHost);
+      hosts_.push_back(host);
+      host_ips_.push_back((10u << 24) | (100u << 16) |
+                          (static_cast<std::uint32_t>(l) << 8) |
+                          static_cast<std::uint32_t>(h + 2));
+      graph_.add_link(leaf, host);
+    }
+    for (const NodeId spine : spines_) {
+      graph_.add_link(leaf, spine);
+    }
+  }
+}
+
+std::uint32_t LeafSpine::host_ip(NodeId host) const {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i] == host) return host_ips_[i];
+  }
+  MIC_ASSERT_MSG(false, "not a leaf-spine host");
+}
+
+}  // namespace mic::topo

@@ -1,0 +1,39 @@
+// Leaf-spine (2-tier Clos) builder: the dominant modern data-center
+// fabric.  Every leaf connects to every spine; hosts hang off leaves.
+// Provided to demonstrate that MIC is not fat-tree specific: the MC's
+// path computation, restrictions and MAGA work on any SDN topology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace mic::topo {
+
+class LeafSpine {
+ public:
+  LeafSpine(int spines, int leaves, int hosts_per_leaf);
+
+  const Graph& graph() const noexcept { return graph_; }
+  int spine_count() const noexcept { return static_cast<int>(spines_.size()); }
+  int leaf_count() const noexcept { return static_cast<int>(leaves_.size()); }
+
+  const std::vector<NodeId>& hosts() const noexcept { return hosts_; }
+  const std::vector<NodeId>& leaf_switches() const noexcept { return leaves_; }
+  const std::vector<NodeId>& spine_switches() const noexcept {
+    return spines_;
+  }
+
+  /// 10.100.leaf.(host+2) addressing.
+  std::uint32_t host_ip(NodeId host) const;
+
+ private:
+  Graph graph_;
+  std::vector<NodeId> spines_;
+  std::vector<NodeId> leaves_;
+  std::vector<NodeId> hosts_;
+  std::vector<std::uint32_t> host_ips_;  // parallel to hosts_
+};
+
+}  // namespace mic::topo

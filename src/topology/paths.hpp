@@ -1,0 +1,79 @@
+// All-pairs equal-cost shortest paths over a host/switch graph.
+//
+// The Mimic Controller "obtains the global view of the network and
+// calculates all-pairs equal-cost shortest paths when initiation"
+// (paper Sec IV-B2).  Hosts never transit traffic: BFS only expands through
+// switches.  ECMP structure is kept as per-node predecessor sets so that
+// individual equal-cost paths can be sampled uniformly or enumerated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace mic::topo {
+
+class AllPairsPaths {
+ public:
+  /// `excluded` links are treated as absent (used to recompute routes
+  /// around failures); pass nullptr for the full graph.
+  explicit AllPairsPaths(const Graph& graph,
+                         const std::unordered_set<LinkId>* excluded = nullptr);
+
+  /// Hop distance (number of links) from src to dst; max() if unreachable.
+  std::uint32_t distance(NodeId src, NodeId dst) const noexcept {
+    return dist_[index(src, dst)];
+  }
+
+  bool reachable(NodeId src, NodeId dst) const noexcept {
+    return distance(src, dst) != kUnreachable;
+  }
+
+  /// Uniformly sample one equal-cost shortest path (node sequence including
+  /// both endpoints) via a random predecessor walk.
+  Path sample_shortest_path(NodeId src, NodeId dst, Rng& rng) const;
+
+  /// Enumerate equal-cost shortest paths, up to `limit` of them.
+  std::vector<Path> enumerate_shortest_paths(NodeId src, NodeId dst,
+                                             std::size_t limit) const;
+
+  /// Number of switches on the sampled shortest paths (path length minus
+  /// the two hosts).
+  std::uint32_t switch_hops(NodeId src, NodeId dst) const noexcept {
+    const auto d = distance(src, dst);
+    return d == kUnreachable ? kUnreachable : d - 1;
+  }
+
+  /// Find a simple path whose *switch count* is at least `min_switches`,
+  /// used when the requested MN count exceeds the shortest path length
+  /// (Sec IV-B2: "a new forwarding path with length larger than N will be
+  /// calculated").  Picks random switch waypoints and splices shortest
+  /// segments, rejecting non-simple results.  Returns nullopt after
+  /// `attempts` failed tries.
+  std::optional<Path> sample_long_path(NodeId src, NodeId dst,
+                                       std::uint32_t min_switches, Rng& rng,
+                                       int attempts = 64) const;
+
+  static constexpr std::uint32_t kUnreachable = ~0u;
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const noexcept {
+    return static_cast<std::size_t>(src) * n_ + dst;
+  }
+
+  void enumerate_rec(NodeId src, NodeId cur, Path& suffix,
+                     std::vector<Path>& out, std::size_t limit) const;
+
+  const Graph& graph_;
+  std::size_t n_;
+  std::vector<std::uint32_t> dist_;  // n*n hop counts
+  // preds_[src*n + dst]: neighbors of dst that lie on a shortest src->dst
+  // path (i.e. dist(src, p) + 1 == dist(src, dst)).
+  std::vector<std::vector<NodeId>> preds_;
+};
+
+}  // namespace mic::topo

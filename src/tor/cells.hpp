@@ -1,0 +1,142 @@
+// Tor-style cell format for the overlay baseline.
+//
+// Fixed 512-byte cells (as in Tor): a 7-byte cleartext header
+// [circuit u32][cmd u8][len u16] and a 505-byte body.  Control bodies
+// (CREATE/CREATED and "recognized" relay payloads) are real bytes and are
+// really onion-encrypted; bulk data rides in kRelayVirtual cells whose body
+// is virtual (the crypto cost is charged, the bytes are not materialized).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "transport/stream.hpp"
+
+namespace mic::tor {
+
+inline constexpr std::uint32_t kCellSize = 512;
+inline constexpr std::uint32_t kCellHeaderBytes = 7;
+inline constexpr std::uint32_t kCellBodyBytes = kCellSize - kCellHeaderBytes;
+
+/// Recognized relay sub-payload: [magic u16][subcmd u8][len u16][data].
+inline constexpr std::uint16_t kRecognizedMagic = 0x5A5A;
+inline constexpr std::uint32_t kRelaySubHeader = 5;
+/// Usable data bytes per relay cell.
+inline constexpr std::uint32_t kRelayDataBytes =
+    kCellBodyBytes - kRelaySubHeader;
+
+enum class CellCmd : std::uint8_t {
+  kCreate = 1,   // body: client DH public (real)
+  kCreated = 2,  // body: relay DH public (real)
+  kRelay = 3,    // body: onion-encrypted recognized payload (real)
+  kRelayVirtual = 4,  // body: virtual bulk data; header len = data bytes
+};
+
+enum class RelaySubCmd : std::uint8_t {
+  kExtend = 1,     // data: next addr u32, port u16, client DH public
+  kExtended = 2,   // data: new relay's DH public
+  kBegin = 3,      // data: target addr u32, port u16
+  kConnected = 4,  // data: empty
+  kData = 5,       // data: application bytes
+};
+
+struct CellHeader {
+  std::uint32_t circuit = 0;
+  CellCmd cmd = CellCmd::kCreate;
+  std::uint16_t length = 0;  // meaning depends on cmd
+};
+
+inline std::vector<std::uint8_t> serialize_cell_header(
+    const CellHeader& header) {
+  std::vector<std::uint8_t> out(kCellHeaderBytes);
+  store_be32(out.data(), header.circuit);
+  out[4] = static_cast<std::uint8_t>(header.cmd);
+  out[5] = static_cast<std::uint8_t>(header.length >> 8);
+  out[6] = static_cast<std::uint8_t>(header.length);
+  return out;
+}
+
+inline CellHeader parse_cell_header(const std::vector<std::uint8_t>& bytes) {
+  MIC_ASSERT(bytes.size() == kCellHeaderBytes);
+  CellHeader header;
+  header.circuit = load_be32(bytes.data());
+  header.cmd = static_cast<CellCmd>(bytes[4]);
+  header.length = static_cast<std::uint16_t>((bytes[5] << 8) | bytes[6]);
+  return header;
+}
+
+/// Build a recognized relay body: magic + subcmd + len + data, zero-padded
+/// to the full body size.
+inline std::vector<std::uint8_t> make_recognized_body(
+    RelaySubCmd subcmd, const std::vector<std::uint8_t>& data) {
+  MIC_ASSERT(data.size() <= kRelayDataBytes);
+  std::vector<std::uint8_t> body(kCellBodyBytes, 0);
+  body[0] = static_cast<std::uint8_t>(kRecognizedMagic >> 8);
+  body[1] = static_cast<std::uint8_t>(kRecognizedMagic);
+  body[2] = static_cast<std::uint8_t>(subcmd);
+  body[3] = static_cast<std::uint8_t>(data.size() >> 8);
+  body[4] = static_cast<std::uint8_t>(data.size());
+  std::copy(data.begin(), data.end(), body.begin() + kRelaySubHeader);
+  return body;
+}
+
+struct RecognizedPayload {
+  bool recognized = false;
+  RelaySubCmd subcmd = RelaySubCmd::kData;
+  std::vector<std::uint8_t> data;
+};
+
+inline RecognizedPayload parse_recognized_body(
+    const std::vector<std::uint8_t>& body) {
+  MIC_ASSERT(body.size() == kCellBodyBytes);
+  RecognizedPayload out;
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>((body[0] << 8) | body[1]);
+  if (magic != kRecognizedMagic) return out;
+  out.recognized = true;
+  out.subcmd = static_cast<RelaySubCmd>(body[2]);
+  const std::uint16_t len =
+      static_cast<std::uint16_t>((body[3] << 8) | body[4]);
+  MIC_ASSERT(len <= kRelayDataBytes);
+  out.data.assign(body.begin() + kRelaySubHeader,
+                  body.begin() + kRelaySubHeader + len);
+  return out;
+}
+
+/// Incremental cell parser over a ByteStream.
+class CellParser {
+ public:
+  /// on_cell(header, body) -- body is a real vector for real-bodied cells,
+  /// empty for kRelayVirtual.
+  template <typename OnCell>
+  void feed(const transport::ChunkView& view, OnCell&& on_cell) {
+    reader_.append(view);
+    for (;;) {
+      if (!have_header_) {
+        auto raw = reader_.read_real(kCellHeaderBytes);
+        if (!raw) return;
+        header_ = parse_cell_header(*raw);
+        have_header_ = true;
+      }
+      if (reader_.available() < kCellBodyBytes) return;
+      have_header_ = false;
+      if (header_.cmd == CellCmd::kRelayVirtual) {
+        reader_.skip(kCellBodyBytes);
+        on_cell(header_, std::vector<std::uint8_t>{});
+      } else {
+        auto body = reader_.read_real(kCellBodyBytes);
+        MIC_ASSERT(body.has_value());
+        on_cell(header_, std::move(*body));
+      }
+    }
+  }
+
+ private:
+  transport::ByteReader reader_;
+  bool have_header_ = false;
+  CellHeader header_{};
+};
+
+}  // namespace mic::tor

@@ -1,0 +1,153 @@
+// Measurement applications: an iperf-like bulk transfer pair and a
+// request/response ping-pong, both over any ByteStream (TCP, SSL, a MIC
+// channel, or a Tor circuit adapter).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "transport/stream.hpp"
+
+namespace mic::transport {
+
+/// Sends `total_bytes` of virtual bulk data as soon as the stream is ready.
+class BulkSender {
+ public:
+  BulkSender(ByteStream& stream, std::uint64_t total_bytes)
+      : stream_(stream), total_(total_bytes) {
+    if (stream_.ready()) {
+      start();
+    } else {
+      stream_.set_on_ready([this] { start(); });
+    }
+  }
+
+  std::uint64_t total_bytes() const noexcept { return total_; }
+
+ private:
+  void start() { stream_.send(Chunk::virtual_bytes(total_)); }
+
+  ByteStream& stream_;
+  std::uint64_t total_;
+};
+
+/// Counts received bytes; reports completion time once `expected` bytes
+/// arrive.  Also records the arrival time of the first byte so goodput can
+/// exclude connection setup.
+class BulkSink {
+ public:
+  using DoneHandler = std::function<void(sim::SimTime finished_at)>;
+
+  BulkSink(ByteStream& stream, sim::Simulator& simulator,
+           std::uint64_t expected, DoneHandler on_done = {})
+      : simulator_(simulator), expected_(expected), on_done_(std::move(on_done)) {
+    stream.set_on_data([this](const ChunkView& view) {
+      if (received_ == 0) first_byte_at_ = simulator_.now();
+      received_ += view.length;
+      if (!finished_ && received_ >= expected_) {
+        finished_ = true;
+        finished_at_ = simulator_.now();
+        if (on_done_) on_done_(finished_at_);
+      }
+    });
+  }
+
+  std::uint64_t received() const noexcept { return received_; }
+  bool finished() const noexcept { return finished_; }
+  sim::SimTime finished_at() const noexcept { return finished_at_; }
+  sim::SimTime first_byte_at() const noexcept { return first_byte_at_; }
+
+  /// Goodput in bits per second between the first byte and completion.
+  double goodput_bps() const noexcept {
+    if (!finished_ || finished_at_ <= first_byte_at_) return 0.0;
+    return static_cast<double>(received_) * 8.0 /
+           sim::to_seconds(finished_at_ - first_byte_at_);
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  std::uint64_t expected_;
+  DoneHandler on_done_;
+  std::uint64_t received_ = 0;
+  bool finished_ = false;
+  sim::SimTime finished_at_ = 0;
+  sim::SimTime first_byte_at_ = 0;
+};
+
+/// The paper's latency benchmark: "the time from when the sender sends
+/// 10 bytes data to the receiver until the receiver sends 10 bytes data
+/// back."  Runs `rounds` iterations and records each RTT.
+class PingPongClient {
+ public:
+  PingPongClient(ByteStream& stream, sim::Simulator& simulator, int rounds,
+                 std::function<void()> on_done = {})
+      : stream_(stream),
+        simulator_(simulator),
+        rounds_(rounds),
+        on_done_(std::move(on_done)) {
+    stream_.set_on_data([this](const ChunkView& view) { on_reply(view); });
+    if (stream_.ready()) {
+      send_ping();
+    } else {
+      stream_.set_on_ready([this] { send_ping(); });
+    }
+  }
+
+  const std::vector<sim::SimTime>& rtts() const noexcept { return rtts_; }
+
+  double mean_rtt_us() const noexcept {
+    if (rtts_.empty()) return 0.0;
+    double sum = 0;
+    for (const auto rtt : rtts_) sum += sim::to_micros(rtt);
+    return sum / static_cast<double>(rtts_.size());
+  }
+
+ private:
+  void send_ping() {
+    sent_at_ = simulator_.now();
+    pending_reply_ = kMessageBytes;
+    stream_.send(Chunk::real(std::vector<std::uint8_t>(kMessageBytes, 0x50)));
+  }
+
+  void on_reply(const ChunkView& view) {
+    pending_reply_ -= std::min<std::uint64_t>(pending_reply_, view.length);
+    if (pending_reply_ > 0) return;
+    rtts_.push_back(simulator_.now() - sent_at_);
+    if (static_cast<int>(rtts_.size()) < rounds_) {
+      send_ping();
+    } else if (on_done_) {
+      on_done_();
+    }
+  }
+
+  static constexpr std::uint64_t kMessageBytes = 10;
+
+  ByteStream& stream_;
+  sim::Simulator& simulator_;
+  int rounds_;
+  std::function<void()> on_done_;
+  sim::SimTime sent_at_ = 0;
+  std::uint64_t pending_reply_ = 0;
+  std::vector<sim::SimTime> rtts_;
+};
+
+/// Echo responder: replies with 10 bytes per 10-byte request.
+class PingPongServer {
+ public:
+  explicit PingPongServer(ByteStream& stream) : stream_(stream) {
+    stream_.set_on_data([this](const ChunkView& view) {
+      buffered_ += view.length;
+      while (buffered_ >= 10) {
+        buffered_ -= 10;
+        stream_.send(Chunk::real(std::vector<std::uint8_t>(10, 0x51)));
+      }
+    });
+  }
+
+ private:
+  ByteStream& stream_;
+  std::uint64_t buffered_ = 0;
+};
+
+}  // namespace mic::transport

@@ -1,0 +1,253 @@
+// Parameterized property sweeps across the whole stack:
+//  - the (F, N, decoys) channel matrix: every combination must deliver
+//    intact data and keep the collision audit clean,
+//  - TCP under swept random-loss rates,
+//  - slice-layer fuzz: random chunk sizes through random striping must
+//    reassemble bit-exactly,
+//  - end-to-end invariant ROUTE-1 under every channel shape.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/collision_audit.hpp"
+#include "core/fabric.hpp"
+#include "core/mic_client.hpp"
+#include "core/mic_wire.hpp"
+
+namespace mic {
+namespace {
+
+using core::Fabric;
+using core::FabricOptions;
+using core::MicChannel;
+using core::MicChannelOptions;
+using core::MicServer;
+
+// --- the channel shape matrix ---------------------------------------------------
+
+class ChannelMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(ChannelMatrix, DeliversAndStaysCollisionFree) {
+  const auto [flows, mns, decoys, use_ssl] = GetParam();
+
+  Fabric fabric;
+  MicServer server(fabric.host(12), 7000, fabric.rng(), use_ssl);
+  std::vector<std::uint8_t> received;
+  server.set_on_channel([&](core::MicServerChannel& channel) {
+    channel.set_on_data([&](const transport::ChunkView& view) {
+      received.insert(received.end(), view.bytes.begin(), view.bytes.end());
+    });
+  });
+
+  // A recognizable pattern so reassembly errors cannot hide.
+  std::vector<std::uint8_t> payload(96 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + (i >> 7));
+  }
+
+  MicChannelOptions options;
+  options.responder_ip = fabric.ip(12);
+  options.responder_port = 7000;
+  options.flow_count = flows;
+  options.mn_count = mns;
+  options.multicast_decoys = decoys;
+  options.use_ssl = use_ssl;
+  MicChannel channel(fabric.host(0), fabric.mc(), options, fabric.rng());
+
+  // ROUTE-1 while the transfer runs: no packet links the endpoints.
+  const net::Ipv4 init_ip = fabric.ip(0);
+  const net::Ipv4 resp_ip = fabric.ip(12);
+  std::uint64_t linking = 0;
+  fabric.network().add_global_tap(
+      [&](topo::LinkId, topo::NodeId, topo::NodeId, const net::Packet& p,
+          sim::SimTime) {
+        const bool a = p.src == init_ip || p.dst == init_ip;
+        const bool b = p.src == resp_ip || p.dst == resp_ip;
+        linking += a && b;
+      });
+
+  channel.send(transport::Chunk::real(payload));
+  fabric.simulator().run_until();
+
+  ASSERT_FALSE(channel.failed()) << channel.error();
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(linking, 0u);
+  const auto audit = core::audit_collisions(fabric.mc());
+  EXPECT_TRUE(audit.ok) << (audit.violations.empty()
+                                ? ""
+                                : audit.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ChannelMatrix,
+    ::testing::Values(
+        std::make_tuple(1, 1, 0, false), std::make_tuple(1, 3, 0, false),
+        std::make_tuple(1, 5, 0, false), std::make_tuple(2, 3, 0, false),
+        std::make_tuple(4, 3, 0, false), std::make_tuple(1, 3, 2, false),
+        std::make_tuple(2, 2, 1, false), std::make_tuple(1, 3, 0, true),
+        std::make_tuple(3, 4, 0, true), std::make_tuple(2, 3, 2, true)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, bool>>& info) {
+      return "F" + std::to_string(std::get<0>(info.param)) + "N" +
+             std::to_string(std::get<1>(info.param)) + "D" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "Ssl" : "Tcp");
+    });
+
+// --- TCP under swept loss ---------------------------------------------------------
+
+class TcpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweep, TransferSurvives) {
+  const double loss = GetParam() / 1000.0;
+  FabricOptions options;
+  options.link.random_drop_probability = loss;
+  options.seed = 17 + static_cast<std::uint64_t>(GetParam());
+  Fabric fabric(options);
+
+  constexpr std::uint64_t kBytes = 512 * 1024;
+  std::uint64_t received = 0;
+  fabric.host(12).listen(6000, [&](transport::TcpConnection& conn) {
+    conn.set_on_data(
+        [&](const transport::ChunkView& view) { received += view.length; });
+  });
+  auto& conn = fabric.host(0).connect(fabric.ip(12), 6000);
+  conn.set_on_ready([&] { conn.send(transport::Chunk::virtual_bytes(kBytes)); });
+  fabric.simulator().run_until();
+  EXPECT_EQ(received, kBytes) << "at loss rate " << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(LossPermille, TcpLossSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 20));
+
+// --- slice-layer fuzz ---------------------------------------------------------------
+
+class SliceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SliceFuzz, RandomChunksReassembleExactly) {
+  // Drive the slice writer/parser/reorderer directly (no network): N
+  // logical flows, random chunk sizes, random interleaving at delivery.
+  Rng rng(GetParam());
+  const int flow_count = 1 + static_cast<int>(rng.below(6));
+
+  // Writer: slice a random byte pattern across flows.
+  std::vector<std::uint8_t> original(
+      1000 + rng.below(200000));
+  for (auto& b : original) b = static_cast<std::uint8_t>(rng.next());
+
+  struct FlowBuf {
+    std::vector<transport::Chunk> wire;  // header/payload chunks in order
+  };
+  std::vector<FlowBuf> flow_bufs(static_cast<std::size_t>(flow_count));
+
+  std::uint32_t seq = 0;
+  std::uint64_t offset = 0;
+  while (offset < original.size()) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(original.size() - offset,
+                                1 + rng.below(48 * 1024));
+    const std::size_t flow = rng.below(flow_bufs.size());
+    core::SliceHeader header;
+    header.channel = 7;
+    header.seq = seq++;
+    header.length = static_cast<std::uint32_t>(len);
+    header.flow = static_cast<std::uint16_t>(flow);
+    flow_bufs[flow].wire.push_back(
+        transport::Chunk::real(core::serialize_slice_header(header)));
+    flow_bufs[flow].wire.push_back(transport::Chunk::real(
+        std::vector<std::uint8_t>(original.begin() + static_cast<long>(offset),
+                                  original.begin() +
+                                      static_cast<long>(offset + len))));
+    offset += len;
+  }
+
+  // Reader: parsers per flow, deliveries interleaved randomly across flows
+  // and fragmented at random boundaries (as TCP would).
+  std::vector<core::SliceParser> parsers(flow_bufs.size());
+  core::SliceReorderer reorderer;
+  std::vector<std::uint8_t> reassembled;
+
+  std::vector<std::size_t> cursor(flow_bufs.size(), 0);
+  std::vector<std::uint64_t> intra(flow_bufs.size(), 0);
+  auto flows_left = [&] {
+    for (std::size_t f = 0; f < flow_bufs.size(); ++f) {
+      if (cursor[f] < flow_bufs[f].wire.size()) return true;
+    }
+    return false;
+  };
+  while (flows_left()) {
+    const std::size_t f = rng.below(flow_bufs.size());
+    if (cursor[f] >= flow_bufs[f].wire.size()) continue;
+    const transport::Chunk& chunk = flow_bufs[f].wire[cursor[f]];
+    const std::uint64_t remaining = chunk.length - intra[f];
+    const std::uint64_t take = 1 + rng.below(remaining);
+    transport::Chunk piece =
+        transport::sub_chunk(chunk, intra[f], take);
+    intra[f] += take;
+    if (intra[f] == chunk.length) {
+      intra[f] = 0;
+      ++cursor[f];
+    }
+    const transport::ChunkView view{piece.length,
+                                    piece.is_real()
+                                        ? std::span<const std::uint8_t>(
+                                              *piece.data)
+                                        : std::span<const std::uint8_t>{}};
+    parsers[f].feed(view, [&](const core::SliceHeader& header,
+                              transport::Chunk payload) {
+      reorderer.push(header.seq, std::move(payload),
+                     [&](transport::Chunk ordered) {
+                       ASSERT_TRUE(ordered.is_real());
+                       reassembled.insert(reassembled.end(),
+                                          ordered.data->begin(),
+                                          ordered.data->end());
+                     });
+    });
+  }
+
+  EXPECT_EQ(reassembled, original);
+  EXPECT_EQ(reorderer.buffered(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+// --- crypto round-trip sweeps ---------------------------------------------------------
+
+class CryptoRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CryptoRoundTrip, ChaChaAndAesAtEverySize) {
+  const std::size_t size = GetParam();
+  Rng rng(size + 1);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const auto original = data;
+
+  crypto::ChaCha20::Key ck{};
+  crypto::ChaCha20::Nonce nonce{};
+  for (auto& b : ck) b = static_cast<std::uint8_t>(rng.next());
+  crypto::ChaCha20::crypt(ck, nonce, data);
+  if (size > 0) {
+    EXPECT_NE(data, original);
+  }
+  crypto::ChaCha20::crypt(ck, nonce, data);
+  EXPECT_EQ(data, original);
+
+  crypto::Aes128::Key ak{};
+  crypto::Aes128::Block iv{};
+  for (auto& b : ak) b = static_cast<std::uint8_t>(rng.next());
+  crypto::aes128_ctr(ak, iv, data);
+  if (size > 0) {
+    EXPECT_NE(data, original);
+  }
+  crypto::aes128_ctr(ak, iv, data);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CryptoRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 505,
+                                           1460, 16384));
+
+}  // namespace
+}  // namespace mic

@@ -1,0 +1,385 @@
+// Tests for the transport substrate: stream buffers, TCP (handshake,
+// delivery, loss recovery), and the SSL layer.
+#include <gtest/gtest.h>
+
+#include "core/fabric.hpp"
+#include "transport/apps.hpp"
+#include "transport/ssl.hpp"
+#include "transport/stream.hpp"
+#include "transport/tcp.hpp"
+
+namespace mic::transport {
+namespace {
+
+using core::Fabric;
+using core::FabricOptions;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// --- SendBuffer / ByteReader ---------------------------------------------------
+
+TEST(SendBuffer, RealRangeExtraction) {
+  SendBuffer buffer;
+  buffer.append(Chunk::real(bytes_of("hello world")));
+  const Chunk range = buffer.range(6, 5);
+  ASSERT_TRUE(range.is_real());
+  EXPECT_EQ(std::string(range.data->begin(), range.data->end()), "world");
+}
+
+TEST(SendBuffer, VirtualRangeStaysVirtual) {
+  SendBuffer buffer;
+  buffer.append(Chunk::virtual_bytes(10000));
+  const Chunk range = buffer.range(5000, 1000);
+  EXPECT_FALSE(range.is_real());
+  EXPECT_EQ(range.length, 1000u);
+}
+
+TEST(SendBuffer, MixedRangeMaterializes) {
+  SendBuffer buffer;
+  buffer.append(Chunk::real(bytes_of("abc")));
+  buffer.append(Chunk::virtual_bytes(3));
+  buffer.append(Chunk::real(bytes_of("xyz")));
+  const Chunk range = buffer.range(0, 9);
+  ASSERT_TRUE(range.is_real());
+  EXPECT_EQ((*range.data)[0], 'a');
+  EXPECT_EQ((*range.data)[3], 0);  // virtual filled with zeros
+  EXPECT_EQ((*range.data)[8], 'z');
+}
+
+TEST(SendBuffer, ReleaseAdvancesBase) {
+  SendBuffer buffer;
+  buffer.append(Chunk::real(bytes_of("0123456789")));
+  buffer.append(Chunk::virtual_bytes(10));
+  buffer.release_until(10);
+  EXPECT_EQ(buffer.base_offset(), 10u);
+  const Chunk range = buffer.range(12, 4);
+  EXPECT_EQ(range.length, 4u);
+}
+
+TEST(ByteReader, ReadRealAcrossChunks) {
+  ByteReader reader;
+  const auto a = bytes_of("hel");
+  const auto b = bytes_of("lo!");
+  reader.append({3, a});
+  EXPECT_FALSE(reader.read_real(6).has_value());
+  reader.append({3, b});
+  const auto got = reader.read_real(6);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "hello!");
+  EXPECT_EQ(reader.available(), 0u);
+}
+
+TEST(ByteReader, SkipCountsRealBytes) {
+  ByteReader reader;
+  const auto a = bytes_of("abcd");
+  reader.append({4, a});
+  reader.append({10, {}});  // virtual
+  EXPECT_EQ(reader.skip(8), 4u);
+  EXPECT_EQ(reader.available(), 6u);
+}
+
+TEST(ByteReader, TakeUpToRespectsKindBoundary) {
+  ByteReader reader;
+  const auto a = bytes_of("abc");
+  reader.append({3, a});
+  reader.append({5, {}});
+  const Chunk first = reader.take_up_to(100);
+  ASSERT_TRUE(first.is_real());
+  EXPECT_EQ(first.length, 3u);
+  EXPECT_TRUE(reader.next_is_real() == false);
+  const Chunk second = reader.take_up_to(2);
+  EXPECT_FALSE(second.is_real());
+  EXPECT_EQ(second.length, 2u);
+}
+
+// --- TCP over the fat-tree fabric ------------------------------------------------
+
+struct TcpPair {
+  explicit TcpPair(FabricOptions options = {}, std::size_t a = 0,
+                   std::size_t b = 15)
+      : fabric(options), client(&fabric.host(a)), server(&fabric.host(b)) {}
+
+  Fabric fabric;
+  Host* client;
+  Host* server;
+};
+
+TEST(Tcp, HandshakeEstablishesBothEnds) {
+  TcpPair pair;
+  TcpConnection* accepted = nullptr;
+  pair.server->listen(5000, [&](TcpConnection& conn) { accepted = &conn; });
+  bool client_ready = false;
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_ready([&] { client_ready = true; });
+  pair.fabric.simulator().run_until();
+  EXPECT_TRUE(client_ready);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(conn.state(), TcpConnection::State::kEstablished);
+  EXPECT_EQ(accepted->state(), TcpConnection::State::kEstablished);
+  EXPECT_EQ(accepted->remote_ip(), pair.fabric.ip(0));
+}
+
+TEST(Tcp, RealBytesArriveIntactAndOrdered) {
+  TcpPair pair;
+  std::string received;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_data([&](const ChunkView& view) {
+      received.append(view.bytes.begin(), view.bytes.end());
+    });
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_ready([&] {
+    conn.send(Chunk::real(bytes_of("hello ")));
+    conn.send(Chunk::real(bytes_of("data center ")));
+    conn.send(Chunk::real(bytes_of("world")));
+  });
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(received, "hello data center world");
+}
+
+TEST(Tcp, BulkVirtualTransferCompletes) {
+  TcpPair pair;
+  constexpr std::uint64_t kBytes = 4 * 1024 * 1024;
+  std::uint64_t received = 0;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_data([&](const ChunkView& view) { received += view.length; });
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_ready([&] { conn.send(Chunk::virtual_bytes(kBytes)); });
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(received, kBytes);
+  EXPECT_EQ(conn.bytes_acked(), kBytes);
+}
+
+TEST(Tcp, RecoversFromQueueDrops) {
+  FabricOptions options;
+  options.link.queue_capacity_bytes = 8000;  // ~5 packets: heavy loss
+  TcpPair pair(options);
+  constexpr std::uint64_t kBytes = 1024 * 1024;
+  std::uint64_t received = 0;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_data([&](const ChunkView& view) { received += view.length; });
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_ready([&] { conn.send(Chunk::virtual_bytes(kBytes)); });
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(received, kBytes);
+  EXPECT_GT(pair.fabric.network().total_drops(), 0u);
+  EXPECT_GT(conn.retransmissions(), 0u);
+}
+
+TEST(Tcp, SingleFlowGoodputNearLineRate) {
+  TcpPair pair;
+  constexpr std::uint64_t kBytes = 8 * 1024 * 1024;
+  BulkSink* sink = nullptr;
+  std::unique_ptr<BulkSink> sink_storage;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    sink_storage = std::make_unique<BulkSink>(
+        conn, pair.fabric.simulator(), kBytes);
+    sink = sink_storage.get();
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  BulkSender sender(conn, kBytes);
+  pair.fabric.simulator().run_until();
+  ASSERT_NE(sink, nullptr);
+  ASSERT_TRUE(sink->finished());
+  // Goodput should be within 25% of the 1 Gb/s line rate (headers, ACK
+  // pacing and slow start eat some).
+  EXPECT_GT(sink->goodput_bps(), 0.75e9);
+  EXPECT_LT(sink->goodput_bps(), 1.0e9);
+}
+
+TEST(Tcp, ManyConnectionsCoexist) {
+  TcpPair pair;
+  int established = 0;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_ready([&] { ++established; });
+  });
+  std::vector<TcpConnection*> conns;
+  for (int i = 0; i < 8; ++i) {
+    conns.push_back(&pair.client->connect(pair.fabric.ip(15), 5000));
+  }
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(established, 8);
+  // All use distinct local ports.
+  std::set<net::L4Port> ports;
+  for (const auto* c : conns) ports.insert(c->local_port());
+  EXPECT_EQ(ports.size(), 8u);
+}
+
+TEST(Tcp, BidirectionalSimultaneousTransfer) {
+  TcpPair pair;
+  constexpr std::uint64_t kBytes = 1024 * 1024;
+  std::uint64_t at_server = 0;
+  std::uint64_t at_client = 0;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_data(
+        [&](const ChunkView& view) { at_server += view.length; });
+    conn.set_on_ready([&conn] {});
+    conn.send(Chunk::virtual_bytes(kBytes));  // flows once established
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_data([&](const ChunkView& view) { at_client += view.length; });
+  conn.set_on_ready([&] { conn.send(Chunk::virtual_bytes(kBytes)); });
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(at_server, kBytes);
+  EXPECT_EQ(at_client, kBytes);
+}
+
+TEST(Tcp, SendBeforeEstablishedIsBuffered) {
+  TcpPair pair;
+  std::string received;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_data([&](const ChunkView& view) {
+      received.append(view.bytes.begin(), view.bytes.end());
+    });
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.send(Chunk::real(bytes_of("eager")));  // before the handshake ends
+  pair.fabric.simulator().run_until();
+  EXPECT_EQ(received, "eager");
+}
+
+TEST(Tcp, CloseHandshake) {
+  TcpPair pair;
+  bool server_closed = false;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    conn.set_on_closed([&] { server_closed = true; });
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  conn.set_on_ready([&] { conn.close(); });
+  pair.fabric.simulator().run_until();
+  EXPECT_TRUE(server_closed);
+}
+
+TEST(Tcp, ConnectFromUsesRequestedPort) {
+  TcpPair pair;
+  pair.server->listen(5000, [](TcpConnection&) {});
+  const net::L4Port port = pair.client->reserve_port();
+  auto& conn = pair.client->connect_from(port, pair.fabric.ip(15), 5000);
+  EXPECT_EQ(conn.local_port(), port);
+}
+
+// --- SSL ---------------------------------------------------------------------------
+
+struct SslPair {
+  SslPair() : rng(99) {
+    pair.server->listen(5000, [&](TcpConnection& conn) {
+      server_ssl = std::make_unique<SslSession>(
+          conn, SslSession::Role::kServer, *pair.server, rng);
+    });
+    auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+    client_ssl = std::make_unique<SslSession>(conn, SslSession::Role::kClient,
+                                              *pair.client, rng);
+  }
+
+  TcpPair pair;
+  Rng rng;
+  std::unique_ptr<SslSession> client_ssl;
+  std::unique_ptr<SslSession> server_ssl;
+};
+
+TEST(Ssl, HandshakeCompletes) {
+  SslPair ssl;
+  bool client_ready = false;
+  ssl.client_ssl->set_on_ready([&] { client_ready = true; });
+  ssl.pair.fabric.simulator().run_until();
+  EXPECT_TRUE(client_ready);
+  EXPECT_TRUE(ssl.client_ssl->ready());
+  EXPECT_TRUE(ssl.server_ssl->ready());
+}
+
+TEST(Ssl, RealDataRoundTripsThroughEncryption) {
+  SslPair ssl;
+  std::string received_at_server;
+  std::string received_at_client;
+  ssl.pair.fabric.simulator().run_until();  // finish handshake
+  ssl.server_ssl->set_on_data([&](const ChunkView& view) {
+    received_at_server.append(view.bytes.begin(), view.bytes.end());
+    ssl.server_ssl->send(Chunk::real(bytes_of("pong")));
+  });
+  ssl.client_ssl->set_on_data([&](const ChunkView& view) {
+    received_at_client.append(view.bytes.begin(), view.bytes.end());
+  });
+  ssl.client_ssl->send(Chunk::real(bytes_of("ping")));
+  ssl.pair.fabric.simulator().run_until();
+  EXPECT_EQ(received_at_server, "ping");
+  EXPECT_EQ(received_at_client, "pong");
+}
+
+TEST(Ssl, WireBytesAreCiphertext) {
+  // Tap the client's access link: application plaintext must not appear.
+  SslPair ssl;
+  std::vector<std::uint8_t> wire;
+  // The host's single link is the first link of host node 0.
+  const auto& graph = ssl.pair.fabric.network().graph();
+  const auto host_node = ssl.pair.fabric.host_node(0);
+  ssl.pair.fabric.network().add_link_tap(
+      graph.neighbors(host_node)[0].link,
+      [&](topo::LinkId, topo::NodeId, topo::NodeId, const net::Packet& packet,
+          sim::SimTime) {
+        if (packet.payload != nullptr) {
+          wire.insert(wire.end(), packet.payload->begin(),
+                      packet.payload->end());
+        }
+      });
+  ssl.pair.fabric.simulator().run_until();
+  const std::string secret = "TOP-SECRET-PAYLOAD-0123456789";
+  ssl.client_ssl->send(Chunk::real(bytes_of(secret)));
+  ssl.pair.fabric.simulator().run_until();
+  const std::string wire_str(wire.begin(), wire.end());
+  EXPECT_EQ(wire_str.find(secret), std::string::npos);
+}
+
+TEST(Ssl, VirtualBulkDataCharged) {
+  SslPair ssl;
+  std::uint64_t received = 0;
+  ssl.pair.fabric.simulator().run_until();
+  ssl.server_ssl->set_on_data(
+      [&](const ChunkView& view) { received += view.length; });
+  const auto busy_before = ssl.pair.server->cpu().busy_time();
+  ssl.client_ssl->send(Chunk::virtual_bytes(1024 * 1024));
+  ssl.pair.fabric.simulator().run_until();
+  EXPECT_EQ(received, 1024u * 1024u);
+  // Crypto cycles were charged at the receiver.
+  EXPECT_GT(ssl.pair.server->cpu().busy_time(), busy_before);
+}
+
+TEST(Ssl, QueuedSendsFlushAfterHandshake) {
+  SslPair ssl;
+  std::string received;
+  ssl.server_ssl ? void() : void();  // server created on accept
+  ssl.client_ssl->send(Chunk::real(bytes_of("early")));  // before ready
+  ssl.pair.fabric.simulator().run_until();
+  ssl.server_ssl->set_on_data([&](const ChunkView& view) {
+    received.append(view.bytes.begin(), view.bytes.end());
+  });
+  // The early send was buffered and flushed during/after the handshake; it
+  // may already have been delivered before the handler attached, so send
+  // another to confirm liveness either way.
+  ssl.client_ssl->send(Chunk::real(bytes_of("+late")));
+  ssl.pair.fabric.simulator().run_until();
+  EXPECT_NE(received.find("+late"), std::string::npos);
+}
+
+// --- apps --------------------------------------------------------------------------
+
+TEST(Apps, PingPongMeasuresRtt) {
+  TcpPair pair;
+  std::unique_ptr<PingPongServer> server;
+  pair.server->listen(5000, [&](TcpConnection& conn) {
+    server = std::make_unique<PingPongServer>(conn);
+  });
+  auto& conn = pair.client->connect(pair.fabric.ip(15), 5000);
+  PingPongClient client(conn, pair.fabric.simulator(), 20);
+  pair.fabric.simulator().run_until();
+  ASSERT_EQ(client.rtts().size(), 20u);
+  // Inter-pod RTT: 12 links, each ~5 us propagation plus switch CPU.
+  EXPECT_GT(client.mean_rtt_us(), 50.0);
+  EXPECT_LT(client.mean_rtt_us(), 500.0);
+}
+
+}  // namespace
+}  // namespace mic::transport
