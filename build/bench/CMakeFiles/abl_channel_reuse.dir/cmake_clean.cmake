@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel_reuse.dir/abl_channel_reuse.cpp.o"
+  "CMakeFiles/abl_channel_reuse.dir/abl_channel_reuse.cpp.o.d"
+  "abl_channel_reuse"
+  "abl_channel_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multi_mflow.dir/abl_multi_mflow.cpp.o"
+  "CMakeFiles/abl_multi_mflow.dir/abl_multi_mflow.cpp.o.d"
+  "abl_multi_mflow"
+  "abl_multi_mflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_mflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

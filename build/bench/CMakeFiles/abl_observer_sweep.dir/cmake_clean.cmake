@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_observer_sweep.dir/abl_observer_sweep.cpp.o"
+  "CMakeFiles/abl_observer_sweep.dir/abl_observer_sweep.cpp.o.d"
+  "abl_observer_sweep"
+  "abl_observer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_observer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

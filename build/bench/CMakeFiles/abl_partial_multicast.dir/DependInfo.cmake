@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_partial_multicast.cpp" "bench/CMakeFiles/abl_partial_multicast.dir/abl_partial_multicast.cpp.o" "gcc" "bench/CMakeFiles/abl_partial_multicast.dir/abl_partial_multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/mic_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/anonymity/CMakeFiles/mic_anonymity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mic_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/mic_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mic_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mic_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

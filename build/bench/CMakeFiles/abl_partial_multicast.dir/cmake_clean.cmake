@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_multicast.dir/abl_partial_multicast.cpp.o"
+  "CMakeFiles/abl_partial_multicast.dir/abl_partial_multicast.cpp.o.d"
+  "abl_partial_multicast"
+  "abl_partial_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

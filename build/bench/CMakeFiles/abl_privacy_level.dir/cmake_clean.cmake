@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_privacy_level.dir/abl_privacy_level.cpp.o"
+  "CMakeFiles/abl_privacy_level.dir/abl_privacy_level.cpp.o.d"
+  "abl_privacy_level"
+  "abl_privacy_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_privacy_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

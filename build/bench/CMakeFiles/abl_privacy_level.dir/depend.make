@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_privacy_level.
+# This may be replaced when dependencies are built.

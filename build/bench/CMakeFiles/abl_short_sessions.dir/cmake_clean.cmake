@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_short_sessions.dir/abl_short_sessions.cpp.o"
+  "CMakeFiles/abl_short_sessions.dir/abl_short_sessions.cpp.o.d"
+  "abl_short_sessions"
+  "abl_short_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_short_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_short_sessions.
+# This may be replaced when dependencies are built.

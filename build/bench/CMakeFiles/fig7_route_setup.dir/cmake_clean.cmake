@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_route_setup.dir/fig7_route_setup.cpp.o"
+  "CMakeFiles/fig7_route_setup.dir/fig7_route_setup.cpp.o.d"
+  "fig7_route_setup"
+  "fig7_route_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_route_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

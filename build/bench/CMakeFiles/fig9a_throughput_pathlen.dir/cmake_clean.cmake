@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_throughput_pathlen.dir/fig9a_throughput_pathlen.cpp.o"
+  "CMakeFiles/fig9a_throughput_pathlen.dir/fig9a_throughput_pathlen.cpp.o.d"
+  "fig9a_throughput_pathlen"
+  "fig9a_throughput_pathlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_throughput_pathlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

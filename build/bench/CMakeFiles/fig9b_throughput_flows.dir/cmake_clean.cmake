@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_throughput_flows.dir/fig9b_throughput_flows.cpp.o"
+  "CMakeFiles/fig9b_throughput_flows.dir/fig9b_throughput_flows.cpp.o.d"
+  "fig9b_throughput_flows"
+  "fig9b_throughput_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_throughput_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

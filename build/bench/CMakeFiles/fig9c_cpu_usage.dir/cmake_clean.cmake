@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_cpu_usage.dir/fig9c_cpu_usage.cpp.o"
+  "CMakeFiles/fig9c_cpu_usage.dir/fig9c_cpu_usage.cpp.o.d"
+  "fig9c_cpu_usage"
+  "fig9c_cpu_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_cpu_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

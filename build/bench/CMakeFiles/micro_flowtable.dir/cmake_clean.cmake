@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flowtable.dir/micro_flowtable.cpp.o"
+  "CMakeFiles/micro_flowtable.dir/micro_flowtable.cpp.o.d"
+  "micro_flowtable"
+  "micro_flowtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flowtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

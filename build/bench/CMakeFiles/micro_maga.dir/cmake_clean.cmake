@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_maga.dir/micro_maga.cpp.o"
+  "CMakeFiles/micro_maga.dir/micro_maga.cpp.o.d"
+  "micro_maga"
+  "micro_maga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_maga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_routing_calc.dir/scal_routing_calc.cpp.o"
+  "CMakeFiles/scal_routing_calc.dir/scal_routing_calc.cpp.o.d"
+  "scal_routing_calc"
+  "scal_routing_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_routing_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scal_routing_calc.
+# This may be replaced when dependencies are built.

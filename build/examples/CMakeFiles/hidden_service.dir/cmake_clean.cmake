@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_service.dir/hidden_service.cpp.o"
+  "CMakeFiles/hidden_service.dir/hidden_service.cpp.o.d"
+  "hidden_service"
+  "hidden_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

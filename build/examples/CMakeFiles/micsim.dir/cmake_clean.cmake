@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micsim.dir/micsim.cpp.o"
+  "CMakeFiles/micsim.dir/micsim.cpp.o.d"
+  "micsim"
+  "micsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_cluster.dir/storage_cluster.cpp.o"
+  "CMakeFiles/storage_cluster.dir/storage_cluster.cpp.o.d"
+  "storage_cluster"
+  "storage_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_anonymity.dir/attacks.cpp.o"
+  "CMakeFiles/mic_anonymity.dir/attacks.cpp.o.d"
+  "libmic_anonymity.a"
+  "libmic_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

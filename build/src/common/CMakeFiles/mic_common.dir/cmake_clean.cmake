@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_common.dir/log.cpp.o"
+  "CMakeFiles/mic_common.dir/log.cpp.o.d"
+  "CMakeFiles/mic_common.dir/rng.cpp.o"
+  "CMakeFiles/mic_common.dir/rng.cpp.o.d"
+  "libmic_common.a"
+  "libmic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_restrictions.cpp" "src/core/CMakeFiles/mic_core.dir/address_restrictions.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/address_restrictions.cpp.o.d"
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/mic_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/collision_audit.cpp" "src/core/CMakeFiles/mic_core.dir/collision_audit.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/collision_audit.cpp.o.d"
+  "/root/repo/src/core/fabric.cpp" "src/core/CMakeFiles/mic_core.dir/fabric.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/fabric.cpp.o.d"
+  "/root/repo/src/core/maga_registry.cpp" "src/core/CMakeFiles/mic_core.dir/maga_registry.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/maga_registry.cpp.o.d"
+  "/root/repo/src/core/mic_client.cpp" "src/core/CMakeFiles/mic_core.dir/mic_client.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/mic_client.cpp.o.d"
+  "/root/repo/src/core/mimic_controller.cpp" "src/core/CMakeFiles/mic_core.dir/mimic_controller.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/mimic_controller.cpp.o.d"
+  "/root/repo/src/core/socket_api.cpp" "src/core/CMakeFiles/mic_core.dir/socket_api.cpp.o" "gcc" "src/core/CMakeFiles/mic_core.dir/socket_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mic_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/mic_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mic_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mic_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_core.dir/address_restrictions.cpp.o"
+  "CMakeFiles/mic_core.dir/address_restrictions.cpp.o.d"
+  "CMakeFiles/mic_core.dir/channel.cpp.o"
+  "CMakeFiles/mic_core.dir/channel.cpp.o.d"
+  "CMakeFiles/mic_core.dir/collision_audit.cpp.o"
+  "CMakeFiles/mic_core.dir/collision_audit.cpp.o.d"
+  "CMakeFiles/mic_core.dir/fabric.cpp.o"
+  "CMakeFiles/mic_core.dir/fabric.cpp.o.d"
+  "CMakeFiles/mic_core.dir/maga_registry.cpp.o"
+  "CMakeFiles/mic_core.dir/maga_registry.cpp.o.d"
+  "CMakeFiles/mic_core.dir/mic_client.cpp.o"
+  "CMakeFiles/mic_core.dir/mic_client.cpp.o.d"
+  "CMakeFiles/mic_core.dir/mimic_controller.cpp.o"
+  "CMakeFiles/mic_core.dir/mimic_controller.cpp.o.d"
+  "CMakeFiles/mic_core.dir/socket_api.cpp.o"
+  "CMakeFiles/mic_core.dir/socket_api.cpp.o.d"
+  "libmic_core.a"
+  "libmic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

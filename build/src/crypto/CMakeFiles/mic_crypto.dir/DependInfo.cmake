@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/mic_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/mic_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/mic_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/mic_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/mic_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/mic_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/mic_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/mic_crypto.dir/dh.cpp.o"
+  "CMakeFiles/mic_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/mic_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/mic_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/mic_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mic_crypto.dir/sha256.cpp.o.d"
+  "libmic_crypto.a"
+  "libmic_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/mic_ctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/mic_ctrl.dir/l3_routing.cpp.o"
+  "CMakeFiles/mic_ctrl.dir/l3_routing.cpp.o.d"
+  "libmic_ctrl.a"
+  "libmic_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_net.dir/network.cpp.o"
+  "CMakeFiles/mic_net.dir/network.cpp.o.d"
+  "CMakeFiles/mic_net.dir/trace.cpp.o"
+  "CMakeFiles/mic_net.dir/trace.cpp.o.d"
+  "libmic_net.a"
+  "libmic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

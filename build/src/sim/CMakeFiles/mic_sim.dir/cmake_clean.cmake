@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mic_sim.dir/simulator.cpp.o.d"
+  "libmic_sim.a"
+  "libmic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmic_sim.a"
+)

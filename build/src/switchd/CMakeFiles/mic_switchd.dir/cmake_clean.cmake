@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_switchd.dir/flow_table.cpp.o"
+  "CMakeFiles/mic_switchd.dir/flow_table.cpp.o.d"
+  "CMakeFiles/mic_switchd.dir/sdn_switch.cpp.o"
+  "CMakeFiles/mic_switchd.dir/sdn_switch.cpp.o.d"
+  "libmic_switchd.a"
+  "libmic_switchd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_switchd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_topology.dir/bcube.cpp.o"
+  "CMakeFiles/mic_topology.dir/bcube.cpp.o.d"
+  "CMakeFiles/mic_topology.dir/fattree.cpp.o"
+  "CMakeFiles/mic_topology.dir/fattree.cpp.o.d"
+  "CMakeFiles/mic_topology.dir/leafspine.cpp.o"
+  "CMakeFiles/mic_topology.dir/leafspine.cpp.o.d"
+  "CMakeFiles/mic_topology.dir/paths.cpp.o"
+  "CMakeFiles/mic_topology.dir/paths.cpp.o.d"
+  "libmic_topology.a"
+  "libmic_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

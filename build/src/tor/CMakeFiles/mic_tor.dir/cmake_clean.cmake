@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_tor.dir/client.cpp.o"
+  "CMakeFiles/mic_tor.dir/client.cpp.o.d"
+  "CMakeFiles/mic_tor.dir/relay.cpp.o"
+  "CMakeFiles/mic_tor.dir/relay.cpp.o.d"
+  "libmic_tor.a"
+  "libmic_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic_transport.dir/ssl.cpp.o"
+  "CMakeFiles/mic_transport.dir/ssl.cpp.o.d"
+  "CMakeFiles/mic_transport.dir/tcp.cpp.o"
+  "CMakeFiles/mic_transport.dir/tcp.cpp.o.d"
+  "libmic_transport.a"
+  "libmic_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

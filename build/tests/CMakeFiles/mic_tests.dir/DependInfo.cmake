@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anonymity.cpp" "tests/CMakeFiles/mic_tests.dir/test_anonymity.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_anonymity.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/mic_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/mic_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_ctrl.cpp" "tests/CMakeFiles/mic_tests.dir/test_ctrl.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_ctrl.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mic_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mic_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_maga.cpp" "tests/CMakeFiles/mic_tests.dir/test_maga.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_maga.cpp.o.d"
+  "/root/repo/tests/test_mic.cpp" "tests/CMakeFiles/mic_tests.dir/test_mic.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_mic.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/mic_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mic_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mic_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_switchd.cpp" "tests/CMakeFiles/mic_tests.dir/test_switchd.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_switchd.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/mic_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_tor.cpp" "tests/CMakeFiles/mic_tests.dir/test_tor.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_tor.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/mic_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/mic_tests.dir/test_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/mic_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/anonymity/CMakeFiles/mic_anonymity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mic_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/mic_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mic_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mic_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
