@@ -373,6 +373,10 @@ void MimicController::install_direction(
     } else {
       match.mpls = hop.mpls;
     }
+    // Every m-flow rule must stay fully specified so it is served by the
+    // switches' exact-match index -- per-packet cost must not grow with
+    // the number of channels (the Fig. 9 scaling argument).
+    MIC_ASSERT_MSG(match.is_exact(), "m-flow match left a wildcard field");
     return match;
   };
   auto rewrite_actions = [&](const HopAddresses& to) {

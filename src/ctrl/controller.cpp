@@ -74,6 +74,14 @@ void Controller::subscribe_packet_in() {
   }
 }
 
+switchd::TableStats Controller::aggregate_table_stats() {
+  switchd::TableStats total;
+  for (const topo::NodeId sw : graph().switches()) {
+    total += switch_at(sw)->table_stats();
+  }
+  return total;
+}
+
 void Controller::on_packet_in(topo::NodeId sw, const net::Packet& packet,
                               topo::PortId in_port) {
   log_debug("packet-in from switch %u port %u (%s -> %s), dropped", sw,

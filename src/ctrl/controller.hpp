@@ -74,6 +74,11 @@ class Controller {
   /// Route packet-ins from every switch to on_packet_in().
   void subscribe_packet_in();
 
+  /// Sum of every switch's lookup-tier counters: the controller's view of
+  /// how much data-plane traffic the exact-match index absorbs vs how much
+  /// falls back to the wildcard scan.
+  switchd::TableStats aggregate_table_stats();
+
   /// Called (after the southbound latency) when a switch reports a table
   /// miss or executes a ToController action.
   virtual void on_packet_in(topo::NodeId sw, const net::Packet& packet,

@@ -39,6 +39,40 @@ std::size_t select_bucket(const net::Packet& packet, std::size_t bucket_count,
   return static_cast<std::size_t>(splitmix64(state) % bucket_count);
 }
 
+std::size_t FlowTable::ExactKeyHash::operator()(
+    const ExactKey& k) const noexcept {
+  std::uint64_t state = (static_cast<std::uint64_t>(k.src.value) << 32) |
+                        k.dst.value;
+  state ^= (static_cast<std::uint64_t>(k.sport) << 48) |
+           (static_cast<std::uint64_t>(k.dport) << 32) | k.mpls;
+  state ^= static_cast<std::uint64_t>(k.in_port) << 16;
+  return static_cast<std::size_t>(splitmix64(state));
+}
+
+FlowTable::ExactKey FlowTable::key_of(const net::Packet& packet,
+                                      topo::PortId in_port) noexcept {
+  return ExactKey{in_port, packet.src,  packet.dst,
+                  packet.sport, packet.dport, packet.mpls};
+}
+
+void FlowTable::rebuild_index() {
+  index_.clear();
+  scan_rules_.clear();
+  for (std::size_t pos = 0; pos < rules_.size(); ++pos) {
+    const Match& m = rules_[pos].match;
+    if (!m.is_exact()) {
+      scan_rules_.push_back(pos);
+      continue;
+    }
+    const ExactKey key{*m.in_port, *m.src, *m.dst, *m.sport, *m.dport,
+                       m.mpls.value_or(net::kNoMpls)};
+    // try_emplace keeps the first (highest-precedence) rule per key; any
+    // later rule with the same key matches the same packets and always
+    // loses, so it is unreachable from the index by construction.
+    index_.try_emplace(key, pos);
+  }
+}
+
 bool FlowTable::add_rule(FlowRule rule) {
   for (const auto& existing : rules_) {
     if (existing.priority == rule.priority && existing.match == rule.match) {
@@ -51,6 +85,7 @@ bool FlowTable::add_rule(FlowRule rule) {
         return a.priority > b.priority;
       });
   rules_.insert(pos, std::move(rule));
+  rebuild_index();
   return true;
 }
 
@@ -59,17 +94,51 @@ std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
   std::erase_if(rules_, [cookie](const FlowRule& r) {
     return r.cookie == cookie;
   });
+  if (rules_.size() != before) rebuild_index();
   return before - rules_.size();
 }
 
 FlowRule* FlowTable::lookup(const net::Packet& packet, topo::PortId in_port,
                             std::uint32_t wire_bytes) {
-  for (auto& rule : rules_) {
-    if (rule.match.matches(packet, in_port)) {
-      ++rule.packet_count;
-      rule.byte_count += wire_bytes;
-      return &rule;
+  ++stats_.lookups;
+  // Tier 1: the exact-match index.  A hit pins the best fully-specified
+  // candidate; key equality guarantees the rule matches the packet.
+  std::size_t best = rules_.size();
+  bool from_index = false;
+  if (!index_.empty()) {
+    const auto it = index_.find(key_of(packet, in_port));
+    if (it != index_.end()) {
+      best = it->second;
+      from_index = true;
     }
+  }
+  // Tier 2: wildcard rules, in precedence order.  Only those preceding the
+  // indexed candidate can still win; scan_rules_ is ascending so the first
+  // match is the winner and positions past `best` stop the scan.
+  for (const std::size_t pos : scan_rules_) {
+    if (pos >= best) break;
+    if (rules_[pos].match.matches(packet, in_port)) {
+      best = pos;
+      from_index = false;
+      break;
+    }
+  }
+  if (best == rules_.size()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  from_index ? ++stats_.index_hits : ++stats_.scan_fallbacks;
+  FlowRule& rule = rules_[best];
+  MIC_ASSERT(rule.match.matches(packet, in_port));
+  ++rule.packet_count;
+  rule.byte_count += wire_bytes;
+  return &rule;
+}
+
+const FlowRule* FlowTable::reference_lookup(
+    const net::Packet& packet, topo::PortId in_port) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule.match.matches(packet, in_port)) return &rule;
   }
   return nullptr;
 }

@@ -2,10 +2,22 @@
 // fields and an ordered action list.  This is the entire per-switch state
 // MIC relies on -- the paper's MNs "can only modify the header of packets",
 // i.e. execute set-field actions from rules the Mimic Controller installed.
+//
+// Lookup is two-tier.  Rules that pin every match field (in_port, src, dst,
+// sport, dport, and the label state) -- every MN rewrite and decoy-drop
+// rule the Mimic Controller installs -- live in an exact-match hash index;
+// only rules with at least one wildcard field (L3 transit routes, ARP-style
+// punts, `require_no_mpls` classifiers) stay on the priority-ordered scan
+// path.  Priority semantics are preserved exactly: an indexed hit still
+// loses to any higher-precedence wildcard rule, with ties broken by install
+// order just like the plain scan.  `reference_lookup()` keeps the original
+// linear scan alive as the oracle for the differential tests (invariant
+// FT-1 in DESIGN.md).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -39,6 +51,18 @@ struct Match {
   }
 
   bool operator==(const Match&) const noexcept = default;
+
+  /// True when the match pins every field the lookup key covers: all five
+  /// header fields plus the label state (an explicit label value or
+  /// `require_no_mpls`).  Such a rule matches exactly one packet header, so
+  /// it can be served from the exact-match index.  A contradictory match
+  /// (`require_no_mpls` with a non-zero label) is not exact -- it matches
+  /// nothing and is left to the scan tier, which agrees.
+  bool is_exact() const noexcept {
+    if (!in_port || !src || !dst || !sport || !dport) return false;
+    if (mpls) return !require_no_mpls || *mpls == net::kNoMpls;
+    return require_no_mpls;
+  }
 };
 
 // --- actions ---------------------------------------------------------------
@@ -97,6 +121,24 @@ struct GroupEntry {
 std::size_t select_bucket(const net::Packet& packet, std::size_t bucket_count,
                           std::uint64_t salt) noexcept;
 
+/// Lookup counters.  `lookups == index_hits + scan_fallbacks + misses`;
+/// per-rule hit counts are the rules' own `packet_count` fields.
+struct TableStats {
+  std::uint64_t lookups = 0;          // total lookup() calls
+  std::uint64_t index_hits = 0;       // resolved by the exact-match index
+  std::uint64_t scan_fallbacks = 0;   // resolved by the wildcard scan tier
+  std::uint64_t misses = 0;           // no rule matched
+
+  TableStats& operator+=(const TableStats& o) noexcept {
+    lookups += o.lookups;
+    index_hits += o.index_hits;
+    scan_fallbacks += o.scan_fallbacks;
+    misses += o.misses;
+    return *this;
+  }
+  bool operator==(const TableStats&) const noexcept = default;
+};
+
 class FlowTable {
  public:
   /// Insert a rule.  Duplicate (priority, match) pairs are rejected --
@@ -109,9 +151,17 @@ class FlowTable {
   std::size_t remove_by_cookie(std::uint64_t cookie);
 
   /// Highest-priority matching rule, or nullptr on table miss.  Counters
-  /// are updated on hit.
+  /// (per-rule and table stats, including misses) are updated.  Served by
+  /// the exact-match index when the winner is a fully-specified rule, by
+  /// the wildcard scan otherwise.
   FlowRule* lookup(const net::Packet& packet, topo::PortId in_port,
                    std::uint32_t wire_bytes);
+
+  /// The original priority-ordered linear scan over every rule, retained
+  /// verbatim as the differential-testing oracle.  Touches no counters.
+  /// For every packet, `lookup()` must return this exact rule (FT-1).
+  const FlowRule* reference_lookup(const net::Packet& packet,
+                                   topo::PortId in_port) const noexcept;
 
   bool add_group(GroupEntry group);
   std::size_t remove_groups_by_cookie(std::uint64_t cookie);
@@ -119,17 +169,47 @@ class FlowTable {
 
   std::size_t rule_count() const noexcept { return rules_.size(); }
   std::size_t group_count() const noexcept { return groups_.size(); }
-  std::uint64_t miss_count() const noexcept { return misses_; }
-  void count_miss() noexcept { ++misses_; }
+  std::uint64_t miss_count() const noexcept { return stats_.misses; }
+
+  const TableStats& stats() const noexcept { return stats_; }
+  /// Rules currently served by the exact-match index (the rest scan).
+  std::size_t indexed_rule_count() const noexcept { return index_.size(); }
 
   const std::vector<FlowRule>& rules() const noexcept { return rules_; }
 
  private:
+  /// Concrete values of every indexable field: the hash-index key.  A
+  /// packet's key equals an exact rule's key iff the rule matches it.
+  struct ExactKey {
+    topo::PortId in_port = 0;
+    net::Ipv4 src;
+    net::Ipv4 dst;
+    net::L4Port sport = 0;
+    net::L4Port dport = 0;
+    net::MplsLabel mpls = net::kNoMpls;
+
+    bool operator==(const ExactKey&) const noexcept = default;
+  };
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const noexcept;
+  };
+
+  static ExactKey key_of(const net::Packet& packet,
+                         topo::PortId in_port) noexcept;
+
+  /// Recompute the index and the wildcard scan list after any mutation.
+  /// Positions are into rules_, so both survive vector reallocation.
+  void rebuild_index();
+
   // Sorted by descending priority; stable within equal priority
   // (first-installed wins, like OVS).
   std::vector<FlowRule> rules_;
   std::vector<GroupEntry> groups_;
-  std::uint64_t misses_ = 0;
+  // key -> position of the highest-precedence exact rule with that key.
+  std::unordered_map<ExactKey, std::size_t, ExactKeyHash> index_;
+  // Positions of non-exact rules, ascending (i.e. in precedence order).
+  std::vector<std::size_t> scan_rules_;
+  TableStats stats_;
 };
 
 }  // namespace mic::switchd

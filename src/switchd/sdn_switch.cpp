@@ -15,7 +15,6 @@ void SdnSwitch::receive(const net::Packet& packet, topo::PortId in_port) {
                                            in_port] {
     FlowRule* rule = table_.lookup(pkt, in_port, pkt.wire_bytes());
     if (rule == nullptr) {
-      table_.count_miss();
       if (packet_in_) {
         packet_in_(node_, pkt, in_port);
       } else {

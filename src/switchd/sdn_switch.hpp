@@ -36,6 +36,11 @@ class SdnSwitch : public net::Device {
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
+  /// Lookup-tier counters of this switch's table (index hits vs wildcard
+  /// scan fallbacks vs misses) -- the observable the benches and the
+  /// controller use to confirm m-flow rules ride the fast path.
+  const TableStats& table_stats() const noexcept { return table_.stats(); }
+
  private:
   /// Execute an action list on (a copy of) the packet; may recurse into
   /// groups one level deep (OpenFlow forbids group->group chaining).

@@ -92,6 +92,81 @@ TEST(Determinism, IdenticalSeedsIdenticalTraces) {
   EXPECT_NE(a, c);
 }
 
+TEST(Determinism, QuickstartScenarioTracesAndStatsReproduce) {
+  // SIM-1 regression on the full quickstart lifecycle (bring-up, channel
+  // establishment, ping/pong, teardown): identical seeds must reproduce
+  // not just the packet trace but every per-switch observable -- forwarded
+  // and dropped counts and the two-tier table's lookup stats.  A lookup
+  // tier gone nondeterministic (e.g. hash-order dependent) would show up
+  // here even if packets still flowed.
+  struct RunResult {
+    std::vector<std::uint64_t> trace;
+    std::vector<std::uint64_t> switch_stats;
+    std::string reply;
+    bool operator==(const RunResult&) const = default;
+  };
+  auto run_quickstart = [](std::uint64_t seed) {
+    FabricOptions options;
+    options.seed = seed;
+    Fabric fabric(options);
+    RunResult result;
+    fabric.network().add_global_tap(
+        [&](topo::LinkId link, topo::NodeId from, topo::NodeId to,
+            const net::Packet& p, sim::SimTime t) {
+          result.trace.push_back(
+              t ^ (static_cast<std::uint64_t>(link) << 36) ^
+              (static_cast<std::uint64_t>(from) << 44) ^
+              (static_cast<std::uint64_t>(to) << 52) ^ p.src.value ^
+              (static_cast<std::uint64_t>(p.dst.value) << 8) ^ p.mpls ^
+              (static_cast<std::uint64_t>(p.sport) << 16) ^ p.dport);
+        });
+
+    core::MicServer server(fabric.host(12), 7000, fabric.rng());
+    server.set_on_channel([](core::MicServerChannel& channel) {
+      channel.set_on_data([&channel](const transport::ChunkView&) {
+        channel.send(transport::Chunk::real({'p', 'o', 'n', 'g'}));
+      });
+    });
+
+    core::MicChannelOptions channel_options;
+    channel_options.responder_ip = fabric.ip(12);
+    channel_options.responder_port = 7000;
+    channel_options.mn_count = 3;
+    core::MicChannel channel(fabric.host(0), fabric.mc(), channel_options,
+                             fabric.rng());
+    channel.set_on_data([&](const transport::ChunkView& view) {
+      result.reply.assign(view.bytes.begin(), view.bytes.end());
+    });
+    channel.send(transport::Chunk::real({'p', 'i', 'n', 'g'}));
+    fabric.simulator().run_until();
+    channel.close();
+    fabric.simulator().run_until();
+
+    for (const topo::NodeId sw : fabric.network().graph().switches()) {
+      const auto* dev = fabric.mc().switch_at(sw);
+      const switchd::TableStats& stats = dev->table_stats();
+      result.switch_stats.insert(
+          result.switch_stats.end(),
+          {dev->forwarded(), dev->dropped(), dev->table().rule_count(),
+           stats.lookups, stats.index_hits, stats.scan_fallbacks,
+           stats.misses});
+    }
+    const switchd::TableStats total = fabric.mc().aggregate_table_stats();
+    EXPECT_EQ(total.lookups,
+              total.index_hits + total.scan_fallbacks + total.misses);
+    // The m-flow data path must actually ride the exact-match index.
+    EXPECT_GT(total.index_hits, 0u);
+    return result;
+  };
+
+  const RunResult a = run_quickstart(4242);
+  const RunResult b = run_quickstart(4242);
+  EXPECT_EQ(a.reply, "pong");
+  EXPECT_TRUE(a == b) << "same-seed quickstart runs diverged";
+  const RunResult c = run_quickstart(4243);
+  EXPECT_NE(a.trace, c.trace);
+}
+
 TEST(Integration, ManyMimicChannelsConcurrently) {
   Fabric fabric;
   std::vector<std::unique_ptr<core::MicServer>> servers;

@@ -93,6 +93,61 @@ TEST_P(MagaProperty, ClassifierPartitionsLabelSpace) {
   for (const int count : counts) EXPECT_EQ(count, 256);
 }
 
+TEST_P(MagaProperty, CrossMnTuplesDisjointUnderRandomParameters) {
+  // Randomized MixKey parameters end to end: the registry's seed drives
+  // every sampled hash (per-MN F, the global classifier g), so each seed
+  // exercises a fresh parameter set.  Two guarantees of Sec IV-B3 must hold
+  // for all of them: (a) on one MN, tuples of distinct flow IDs never
+  // collide (they hash to different IDs under that MN's F), and (b) the
+  // g() label partition keeps tuples disjoint across MNs -- every label an
+  // MN uses classifies to its own S_ID, so no two MNs can ever emit an
+  // equal tuple.
+  Rng seeder(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  MagaRegistry registry{Rng(seeder.next())};
+  constexpr topo::NodeId kMns[] = {11, 22, 33, 44};
+  for (const topo::NodeId mn : kMns) registry.register_switch(mn);
+
+  const std::vector<net::Ipv4> candidates{
+      net::Ipv4(10, 0, 0, 2), net::Ipv4(10, 0, 0, 3), net::Ipv4(10, 1, 0, 2)};
+  const FlowId flows[] = {registry.allocate_flow_id(),
+                          registry.allocate_flow_id(),
+                          registry.allocate_flow_id()};
+
+  struct Generated {
+    topo::NodeId mn;
+    FlowId flow;
+    MTuple tuple;
+  };
+  std::vector<Generated> all;
+  for (const topo::NodeId mn : kMns) {
+    for (const FlowId flow : flows) {
+      for (int i = 0; i < 20; ++i) {
+        const MTuple t = registry.generate(mn, flow, candidates, candidates);
+        EXPECT_EQ(registry.flow_id_of(mn, t), flow);
+        EXPECT_EQ(registry.class_of_label(t.mpls), registry.s_id(mn));
+        all.push_back({mn, flow, t});
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const Generated& a = all[i];
+      const Generated& b = all[j];
+      if (a.mn == b.mn && a.flow != b.flow) {
+        EXPECT_FALSE(a.tuple == b.tuple)
+            << "same-MN collision between flows " << a.flow << " and "
+            << b.flow;
+      }
+      if (a.mn != b.mn) {
+        // Disjoint label classes: not just unequal tuples, unequal labels.
+        EXPECT_NE(a.tuple.mpls, b.tuple.mpls)
+            << "MNs " << a.mn << " and " << b.mn << " shared a label";
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MagaProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 

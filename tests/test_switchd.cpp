@@ -139,8 +139,113 @@ TEST(FlowTable, MissCounter) {
   FlowTable table;
   auto p = make_packet({1, 1, 1, 1}, {2, 2, 2, 2});
   EXPECT_EQ(table.lookup(p, 0, p.wire_bytes()), nullptr);
-  table.count_miss();
   EXPECT_EQ(table.miss_count(), 1u);
+  EXPECT_EQ(table.stats().lookups, 1u);
+  EXPECT_EQ(table.stats().misses, 1u);
+}
+
+// --- the two-tier lookup ------------------------------------------------------
+
+Match exact_match(net::Ipv4 src, net::Ipv4 dst, net::L4Port sport,
+                  net::L4Port dport, net::MplsLabel mpls,
+                  topo::PortId in_port = 0) {
+  Match m;
+  m.in_port = in_port;
+  m.src = src;
+  m.dst = dst;
+  m.sport = sport;
+  m.dport = dport;
+  if (mpls == net::kNoMpls) {
+    m.require_no_mpls = true;
+  } else {
+    m.mpls = mpls;
+  }
+  return m;
+}
+
+TEST(FlowTable, ExactRulesAreIndexed) {
+  FlowTable table;
+  FlowRule exact;
+  exact.priority = 100;
+  exact.match = exact_match({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 200, 7);
+  exact.cookie = 1;
+  FlowRule wildcard;
+  wildcard.priority = 1;
+  wildcard.cookie = 2;
+  ASSERT_TRUE(table.add_rule(exact));
+  ASSERT_TRUE(table.add_rule(wildcard));
+  EXPECT_EQ(table.indexed_rule_count(), 1u);
+
+  auto hit = make_packet({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 200, 7);
+  FlowRule* rule = table.lookup(hit, 0, hit.wire_bytes());
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->cookie, 1u);
+  EXPECT_EQ(table.stats().index_hits, 1u);
+  EXPECT_EQ(table.stats().scan_fallbacks, 0u);
+
+  auto other = make_packet({10, 0, 0, 9}, {10, 0, 0, 2});
+  rule = table.lookup(other, 0, other.wire_bytes());
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->cookie, 2u);
+  EXPECT_EQ(table.stats().scan_fallbacks, 1u);
+  EXPECT_EQ(table.stats().lookups, 2u);
+}
+
+TEST(FlowTable, IndexedHitLosesToHigherPriorityWildcard) {
+  FlowTable table;
+  FlowRule exact;
+  exact.priority = 100;
+  exact.match = exact_match({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 200, 7);
+  exact.cookie = 1;
+  FlowRule punt;  // e.g. a decoy-drop-style classifier above the m-flow tier
+  punt.priority = 110;
+  punt.match.src = net::Ipv4(10, 0, 0, 1);
+  punt.cookie = 2;
+  ASSERT_TRUE(table.add_rule(exact));
+  ASSERT_TRUE(table.add_rule(punt));
+
+  auto p = make_packet({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 200, 7);
+  FlowRule* rule = table.lookup(p, 0, p.wire_bytes());
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->cookie, 2u);
+  EXPECT_EQ(table.stats().scan_fallbacks, 1u);
+  EXPECT_EQ(table.stats().index_hits, 0u);
+  EXPECT_EQ(rule, table.reference_lookup(p, 0));
+}
+
+TEST(FlowTable, IndexSurvivesCookieRemoval) {
+  FlowTable table;
+  for (int i = 0; i < 4; ++i) {
+    FlowRule rule;
+    rule.priority = 100;
+    rule.match = exact_match({10, 0, 0, 1}, {10, 0, 0, 2}, 100,
+                             static_cast<net::L4Port>(200 + i), 7);
+    rule.cookie = i % 2 == 0 ? 5 : 6;
+    ASSERT_TRUE(table.add_rule(rule));
+  }
+  EXPECT_EQ(table.indexed_rule_count(), 4u);
+  EXPECT_EQ(table.remove_by_cookie(5), 2u);
+  EXPECT_EQ(table.indexed_rule_count(), 2u);
+
+  auto p = make_packet({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 201, 7);
+  FlowRule* rule = table.lookup(p, 0, p.wire_bytes());
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->cookie, 6u);
+  EXPECT_EQ(rule, table.reference_lookup(p, 0));
+}
+
+TEST(Match, ExactnessClassification) {
+  Match m = exact_match({1, 1, 1, 1}, {2, 2, 2, 2}, 1, 2, 7);
+  EXPECT_TRUE(m.is_exact());
+  m.mpls.reset();
+  EXPECT_FALSE(m.is_exact());  // label state unconstrained
+  m.require_no_mpls = true;
+  EXPECT_TRUE(m.is_exact());   // pinned to "untagged"
+  m.mpls = 9;
+  EXPECT_FALSE(m.is_exact());  // contradictory: matches nothing, scans
+  m = exact_match({1, 1, 1, 1}, {2, 2, 2, 2}, 1, 2, 7);
+  m.in_port.reset();
+  EXPECT_FALSE(m.is_exact());
 }
 
 // --- the switch device in a 3-node line: host-A -- switch -- host-B ----------
@@ -341,6 +446,27 @@ TEST(SdnSwitch, MissWithoutHandlerDrops) {
   fix.simulator.run_until();
   EXPECT_EQ(fix.sw_dev->dropped(), 1u);
   EXPECT_EQ(fix.sw_dev->table().miss_count(), 1u);
+}
+
+TEST(SdnSwitch, TableStatsSurfaced) {
+  SwitchFixture fix;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.match = exact_match({10, 0, 0, 1}, {10, 0, 0, 2}, 100, 200,
+                           net::kNoMpls);
+  rule.actions = {Output{1}};
+  ASSERT_TRUE(fix.sw_dev->table().add_rule(rule));
+
+  fix.network.transmit(fix.a, 0, make_packet({10, 0, 0, 1}, {10, 0, 0, 2}));
+  fix.network.transmit(fix.a, 0, make_packet({9, 9, 9, 9}, {8, 8, 8, 8}));
+  fix.simulator.run_until();
+  const TableStats& stats = fix.sw_dev->table_stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.scan_fallbacks, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.lookups,
+            stats.index_hits + stats.scan_fallbacks + stats.misses);
 }
 
 TEST(SdnSwitch, LookupChargesCpu) {
