@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plain and sanitized.
+#
+#   scripts/check.sh          # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh --fast   # plain only
+#
+# The sanitized pass builds into build-asan/ with MIC_SANITIZE=ON, which
+# wires -fsanitize=address,undefined into every target (see the top-level
+# CMakeLists.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir=$1; shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "== plain =="
+run_suite build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== sanitized (address,undefined) =="
+  run_suite build-asan -DMIC_SANITIZE=ON
+fi
+
+echo "OK"

@@ -3,7 +3,7 @@
 namespace mic::core {
 
 AddressRestrictions::AddressRestrictions(
-    const topo::Graph& graph, const topo::AllPairsPaths& paths,
+    const topo::Graph& graph, const topo::PathEngine& paths,
     const ctrl::HostAddressing& addressing) {
   const auto hosts = graph.hosts();
 
@@ -12,6 +12,11 @@ AddressRestrictions::AddressRestrictions(
       PortSets sets;
       const topo::NodeId peer = adj.peer;
 
+      // Both plausibility checks are phrased with the host as the
+      // destination: distances under the host-no-transit rule are
+      // symmetric, and host-destination rows are exactly the ones the
+      // lazy engine already computes for routing, so this sweep touches
+      // one cached BFS row per host instead of one per node.
       for (const topo::NodeId h : hosts) {
         const net::Ipv4 ip = addressing.ip_of(h);
 
@@ -27,7 +32,7 @@ AddressRestrictions::AddressRestrictions(
         // continue through this port (moving away from h).
         const bool src_ok =
             h != peer && graph.is_switch(peer) &&
-            paths.distance(h, peer) == paths.distance(h, sw) + 1;
+            paths.distance(peer, h) == paths.distance(sw, h) + 1;
         if (src_ok) sets.src.push_back(ip);
       }
 

@@ -12,14 +12,14 @@
 #include <vector>
 
 #include "ctrl/controller.hpp"
-#include "topology/paths.hpp"
+#include "topology/path_engine.hpp"
 
 namespace mic::core {
 
 class AddressRestrictions {
  public:
   AddressRestrictions(const topo::Graph& graph,
-                      const topo::AllPairsPaths& paths,
+                      const topo::PathEngine& paths,
                       const ctrl::HostAddressing& addressing);
 
   /// Host IPs a packet leaving `sw` via `port` may plausibly carry as its

@@ -647,6 +647,11 @@ void MimicController::teardown(ChannelId id, bool immediate) {
 
 MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
   failed_links_.insert(link);
+  // Bump the path engine's failure epoch first: only the cached BFS rows
+  // whose shortest-path DAG used the link are dropped, so both the L3
+  // reroute and the m-flow re-planning below see failure-aware distances
+  // without a full-table rebuild.
+  path_engine().link_failed(link);
   RepairOutcome outcome;
 
   // Common flows first: re-install the default routing around the failure

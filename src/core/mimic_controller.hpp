@@ -97,7 +97,10 @@ class MimicController : public ctrl::Controller {
 
   /// Restore a previously failed link (new channels may use it again;
   /// existing channels keep their repaired routes).
-  void restore_link(topo::LinkId link) { failed_links_.erase(link); }
+  void restore_link(topo::LinkId link) {
+    failed_links_.erase(link);
+    path_engine().link_restored(link);
+  }
 
   const std::unordered_set<topo::LinkId>& failed_links() const noexcept {
     return failed_links_;

@@ -9,7 +9,11 @@ Controller::Controller(net::Network& network, HostAddressing addressing,
     : network_(network),
       addressing_(std::move(addressing)),
       config_(config),
-      paths_(network.graph()) {}
+      paths_(network.graph()) {
+  if (config_.path_warmup_threads > 0) {
+    paths_.warm_up(network.graph().hosts(), config_.path_warmup_threads);
+  }
+}
 
 switchd::SdnSwitch* Controller::switch_at(topo::NodeId node) {
   auto* device = dynamic_cast<switchd::SdnSwitch*>(network_.device(node));

@@ -1,11 +1,13 @@
 // SDN controller framework (the simulated Ryu).
 //
-// The controller owns the global topology view and an all-pairs equal-cost
-// shortest path table (the paper's MC "obtains the global view of the
-// network and calculates all-pairs equal-cost shortest paths when
-// initiation").  Southbound operations (flow-mod, group-mod) are charged a
-// configurable control-channel latency; proactive installs at simulation
-// start are immediate.
+// The controller owns the global topology view and a lazy shortest-path
+// engine (the paper's MC "obtains the global view of the network and
+// calculates all-pairs equal-cost shortest paths when initiation" -- we
+// keep the same query surface but compute per-destination rows on demand,
+// so start-up cost no longer scales with the full all-pairs table).
+// Southbound operations (flow-mod, group-mod) are charged a configurable
+// control-channel latency; proactive installs at simulation start are
+// immediate.
 #pragma once
 
 #include <cstdint>
@@ -13,7 +15,7 @@
 
 #include "net/network.hpp"
 #include "switchd/sdn_switch.hpp"
-#include "topology/paths.hpp"
+#include "topology/path_engine.hpp"
 
 namespace mic::ctrl {
 
@@ -44,6 +46,13 @@ struct ControllerConfig {
   /// packet-in delivery).  Mininet's localhost control channel is fast but
   /// not free.
   sim::SimTime southbound_latency = sim::microseconds(200);
+
+  /// Opt-in parallel warm-up of the path engine: when > 0, the controller
+  /// precomputes one BFS row per host destination at construction, fanned
+  /// across this many threads.  0 (the default) stays fully lazy -- rows
+  /// are computed on first use.  Warm-up runs before the single-threaded
+  /// event loop starts and is deterministic for any thread count (PE-1).
+  unsigned path_warmup_threads = 0;
 };
 
 class Controller {
@@ -55,7 +64,10 @@ class Controller {
 
   net::Network& network() noexcept { return network_; }
   const topo::Graph& graph() const noexcept { return network_.graph(); }
-  const topo::AllPairsPaths& paths() const noexcept { return paths_; }
+  const topo::PathEngine& paths() const noexcept { return paths_; }
+  /// Mutable engine access for failure-epoch maintenance (link_failed /
+  /// link_restored) and explicit warm-up.
+  topo::PathEngine& path_engine() noexcept { return paths_; }
   const HostAddressing& addressing() const noexcept { return addressing_; }
   const ControllerConfig& config() const noexcept { return config_; }
 
@@ -90,7 +102,7 @@ class Controller {
   net::Network& network_;
   HostAddressing addressing_;
   ControllerConfig config_;
-  topo::AllPairsPaths paths_;
+  topo::PathEngine paths_;
   std::uint64_t rules_installed_ = 0;
 };
 

@@ -1,36 +1,44 @@
 #include "ctrl/l3_routing.hpp"
 
-#include <optional>
-
 namespace mic::ctrl {
 
 namespace {
 
 const std::unordered_set<topo::LinkId> kNoFailures;
 
+/// Scratch buffers reused across every (switch, host) pair of an install
+/// sweep, so the inner loop stays allocation-free.
+struct NextHopScratch {
+  std::vector<std::pair<topo::NodeId, topo::PortId>> candidates;
+  std::vector<topo::PortId> ports;
+};
+
 /// All equal-cost next-hop ports from `sw` toward host `dst` under the
-/// given (possibly failure-filtered) path table; sorted by peer id for
-/// determinism.  Empty when the destination is unreachable.
-std::vector<topo::PortId> next_hop_ports(
-    const Controller& controller, const topo::AllPairsPaths& paths,
-    topo::NodeId sw, topo::NodeId dst,
-    const std::unordered_set<topo::LinkId>& failed) {
+/// engine's current (failure-filtered) view; sorted by peer id for
+/// determinism.  Fills scratch.ports; empty when the destination is
+/// unreachable.
+void next_hop_ports(const Controller& controller,
+                    const topo::PathEngine& paths, topo::NodeId sw,
+                    topo::NodeId dst,
+                    const std::unordered_set<topo::LinkId>& failed,
+                    NextHopScratch& scratch) {
+  scratch.candidates.clear();
+  scratch.ports.clear();
   const auto& graph = controller.graph();
   const std::uint32_t d = paths.distance(sw, dst);
-  if (d == topo::AllPairsPaths::kUnreachable) return {};
+  if (d == topo::PathEngine::kUnreachable) return;
 
-  std::vector<std::pair<topo::NodeId, topo::PortId>> candidates;
   for (const auto& adj : graph.neighbors(sw)) {
     if (failed.contains(adj.link)) continue;
     const bool on_shortest =
         adj.peer == dst ||
         (graph.is_switch(adj.peer) && paths.distance(adj.peer, dst) == d - 1);
-    if (on_shortest) candidates.push_back({adj.peer, adj.local_port});
+    if (on_shortest) scratch.candidates.push_back({adj.peer, adj.local_port});
   }
-  std::sort(candidates.begin(), candidates.end());
-  std::vector<topo::PortId> ports;
-  for (const auto& [peer, port] : candidates) ports.push_back(port);
-  return ports;
+  std::sort(scratch.candidates.begin(), scratch.candidates.end());
+  for (const auto& [peer, port] : scratch.candidates) {
+    scratch.ports.push_back(port);
+  }
 }
 
 void install_rules(Controller& controller,
@@ -40,15 +48,17 @@ void install_rules(Controller& controller,
   const auto hosts = graph.hosts();
 
   // Distances must reflect the failures, or upstream ECMP keeps hashing
-  // flows toward switches that can no longer reach the destination.
-  std::optional<topo::AllPairsPaths> filtered;
-  if (!failed.empty()) filtered.emplace(graph, &failed);
-  const topo::AllPairsPaths& paths =
-      filtered.has_value() ? *filtered : controller.paths();
+  // flows toward switches that can no longer reach the destination.  The
+  // engine's failure epochs already exclude `failed` (reroute_around syncs
+  // them), so the same lazily-cached rows serve both the initial install
+  // and post-failure reroutes -- no full-table rebuild.
+  const topo::PathEngine& paths = controller.paths();
 
+  NextHopScratch scratch;
+  std::vector<std::pair<topo::NodeId, topo::PortId>> local_hosts;
   for (const topo::NodeId sw : graph.switches()) {
     // Hosts attached directly to this switch (it is their edge switch).
-    std::vector<std::pair<topo::NodeId, topo::PortId>> local_hosts;
+    local_hosts.clear();
     for (const auto& adj : graph.neighbors(sw)) {
       if (graph.is_host(adj.peer) && !failed.contains(adj.link)) {
         local_hosts.push_back({adj.peer, adj.local_port});
@@ -75,7 +85,8 @@ void install_rules(Controller& controller,
       }
       if (is_local) continue;
 
-      const auto ports = next_hop_ports(controller, paths, sw, dst, failed);
+      next_hop_ports(controller, paths, sw, dst, failed, scratch);
+      const auto& ports = scratch.ports;
       if (ports.empty()) continue;  // unreachable after failures
 
       // With multiple equal-cost next hops install a SELECT group (ECMP,
@@ -133,6 +144,10 @@ void L3RoutingApp::install(Controller& controller, CfLabelPolicy policy) {
 void L3RoutingApp::reroute_around(
     Controller& controller, CfLabelPolicy policy,
     const std::unordered_set<topo::LinkId>& failed) {
+  // Sync the engine's failure epochs with the caller's failure set: newly
+  // failed links invalidate only the rows whose shortest-path DAG used
+  // them (sub-linear), instead of rebuilding the whole table.
+  controller.path_engine().set_failed_links(failed);
   for (const topo::NodeId sw : controller.graph().switches()) {
     controller.remove_cookie(sw, kL3Cookie, /*immediate=*/true);
   }

@@ -10,6 +10,7 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
 
     if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
       cancelled_.erase(it);
+      pending_.erase(top.id);
       queue_.pop();
       continue;
     }
@@ -18,6 +19,7 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
     // inside the callback cannot invalidate it.
     Entry entry = std::move(const_cast<Entry&>(top));
     queue_.pop();
+    pending_.erase(entry.id);
     now_ = entry.when;
     --live_events_;
     ++executed_;

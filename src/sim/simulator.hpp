@@ -30,6 +30,7 @@ class Simulator {
     MIC_ASSERT_MSG(when >= now_, "cannot schedule into the past");
     const EventId id = next_id_++;
     queue_.push(Entry{when, id, std::move(cb)});
+    pending_.insert(id);
     ++live_events_;
     return id;
   }
@@ -40,9 +41,13 @@ class Simulator {
   }
 
   /// Cancel a pending event.  Cancelling an already-fired or already-
-  /// cancelled event is a no-op.
+  /// cancelled event is a no-op: ids are checked against the set of
+  /// still-queued events, so a retired id can neither leave a permanent
+  /// tombstone in cancelled_ nor decrement live_events_ (which would make
+  /// idle() report true with live events pending).
   void cancel(EventId id) {
-    if (cancelled_.insert(id).second && live_events_ > 0) --live_events_;
+    if (!pending_.contains(id)) return;  // never scheduled, fired, or done
+    if (cancelled_.insert(id).second) --live_events_;
   }
 
   /// Run until the event queue drains or simulated time exceeds `deadline`.
@@ -72,7 +77,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::uint64_t live_events_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;  // tombstones, erased on pop
+  std::unordered_set<EventId> pending_;    // ids still in queue_
+  std::unordered_set<EventId> cancelled_;  // tombstones (subset of pending_)
 };
 
 }  // namespace mic::sim

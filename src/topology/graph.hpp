@@ -81,6 +81,12 @@ class Graph {
     return kInvalidPort;
   }
 
+  /// Endpoint pair of a link, in add_link() order.
+  std::pair<NodeId, NodeId> link_endpoints(LinkId link) const noexcept {
+    MIC_ASSERT(link < link_endpoints_.size());
+    return link_endpoints_[link];
+  }
+
   /// The link joining two adjacent nodes; kInvalidLink if not adjacent.
   LinkId link_between(NodeId a, NodeId b) const noexcept {
     for (const auto& adj : adjacency_[a]) {

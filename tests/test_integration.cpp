@@ -331,7 +331,7 @@ TEST(LeafSpine, StructureAndAddressing) {
   for (const topo::NodeId spine : ls.spine_switches()) {
     EXPECT_EQ(ls.graph().port_count(spine), 6u);
   }
-  const topo::AllPairsPaths paths(ls.graph());
+  const topo::PathEngine paths(ls.graph());
   // Host to host across leaves: host-leaf-spine-leaf-host = 4 links.
   EXPECT_EQ(paths.distance(ls.hosts()[0], ls.hosts()[47]), 4u);
 }

@@ -47,6 +47,33 @@ TEST(Simulator, CancelTwiceIsHarmless) {
   EXPECT_TRUE(simulator.idle());
 }
 
+TEST(Simulator, CancelAfterFiringIsANoOp) {
+  // Regression: cancelling an already-fired event used to insert a
+  // permanent tombstone and wrongly decrement the live-event count, so
+  // idle() reported true with live events still pending.
+  Simulator simulator;
+  int fired = 0;
+  const EventId first = simulator.schedule_at(milliseconds(1), [&] { ++fired; });
+  simulator.schedule_at(milliseconds(10), [&] { ++fired; });
+  simulator.run_until(milliseconds(1));
+  EXPECT_EQ(fired, 1);
+
+  simulator.cancel(first);  // already fired: must change nothing
+  EXPECT_FALSE(simulator.idle());
+  simulator.run_until();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(simulator.idle());  // live-event count must not underflow
+}
+
+TEST(Simulator, CancelUnknownIdIsANoOp) {
+  Simulator simulator;
+  simulator.schedule_in(seconds(1), [] {});
+  simulator.cancel(12345);  // never scheduled
+  EXPECT_FALSE(simulator.idle());
+  simulator.run_until();
+  EXPECT_TRUE(simulator.idle());
+}
+
 TEST(Simulator, ReentrantScheduling) {
   Simulator simulator;
   int count = 0;
