@@ -1,7 +1,9 @@
-// Failover: the Mimic Controller re-routes live mimic channels around a
-// link failure without the endpoints noticing -- the SDN dividend of the
-// in-network design (an overlay system would have to rebuild its circuits
-// end-to-end).
+// Failover: a mid-transfer link cut is detected by the switches' own
+// port-status pipeline (loss of signal -> async notification -> MC), and
+// the Mimic Controller re-routes the live mimic channel around it without
+// the endpoints noticing -- the SDN dividend of the in-network design (an
+// overlay system would have to rebuild its circuits end-to-end).  Nothing
+// here reports the failure by hand: cutting the PHY is all it takes.
 #include <cstdio>
 
 #include "core/collision_audit.hpp"
@@ -58,14 +60,20 @@ int main() {
   const std::size_t mid = plan_before.path.size() / 2;
   const topo::LinkId victim = fabric.network().graph().link_between(
       plan_before.path[mid], plan_before.path[mid + 1]);
-  fabric.network().set_link_up(victim, false);
-  std::printf("cutting link %u (between switches %u and %u)...\n", victim,
-              plan_before.path[mid], plan_before.path[mid + 1]);
-
   const auto failure_at = simulator.now();
-  const auto outcome = fabric.mc().fail_link(victim);
-  std::printf("MC repair: %zu channel(s) re-routed, %zu lost\n",
-              outcome.repaired, outcome.lost);
+  fabric.network().set_link_up(victim, false);
+  std::printf("cutting link %u (between switches %u and %u); no failure "
+              "report is sent -- detection is on its own\n",
+              victim, plan_before.path[mid], plan_before.path[mid + 1]);
+
+  // Give the detection pipeline (PHY debounce + async port-status message)
+  // a moment, then show what the MC worked out by itself.
+  simulator.run_until(simulator.now() + sim::milliseconds(2));
+  std::printf("MC's failure view: link %u %s, %llu channel(s) repaired\n",
+              victim,
+              fabric.mc().failed_links().contains(victim) ? "DOWN" : "up",
+              static_cast<unsigned long long>(
+                  fabric.mc().channels_repaired()));
 
   simulator.run_until();
   const auto& plan_after = fabric.mc().channel(channel.id())->flows[0];
@@ -76,14 +84,27 @@ int main() {
               static_cast<unsigned long long>(received),
               sim::to_millis(simulator.now()));
   std::printf("entry address unchanged: %s:%u -- the initiator's socket "
-              "never noticed\n",
+              "never noticed (%llu transparent repair(s))\n",
               plan_after.forward[0].dst.str().c_str(),
-              plan_after.forward[0].dport);
+              plan_after.forward[0].dport,
+              static_cast<unsigned long long>(channel.repair_count()));
   std::printf("time from failure to completion: %.1f ms\n",
               sim::to_millis(simulator.now() - failure_at));
 
+  // Repairing the cable clears the failure the same way: detection only.
+  fabric.network().set_link_up(victim, true);
+  simulator.run_until();
+  std::printf("link %u repaired; MC failure set %s\n", victim,
+              fabric.mc().failed_links().empty() ? "empty again" : "STALE");
+
   const auto audit = core::audit_collisions(fabric.mc());
-  std::printf("collision audit after repair: %s\n",
-              audit.ok ? "CLEAN" : "VIOLATIONS");
-  return audit.ok && received == kBytes ? 0 : 1;
+  const auto orphans = core::audit_orphan_rules(fabric.mc());
+  std::printf("collision audit after repair: %s; orphan-rule audit: %s\n",
+              audit.ok ? "CLEAN" : "VIOLATIONS",
+              orphans.ok ? "CLEAN" : "VIOLATIONS");
+  return audit.ok && orphans.ok && received == kBytes &&
+                 fabric.mc().failed_links().empty() &&
+                 channel.repair_count() == 1
+             ? 0
+             : 1;
 }

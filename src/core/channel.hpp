@@ -54,6 +54,10 @@ struct ChannelState {
   std::vector<topo::NodeId> touched_switches;
   bool idle = false;
   std::uint64_t idle_since = 0;  // sim time of the last idle notification
+  /// Install-transaction generation.  Bumped whenever the channel's rules
+  /// are (re-)issued; in-flight commits from an older generation must not
+  /// retry, roll back, or otherwise touch the cookie they no longer own.
+  std::uint64_t install_txn = 0;
 };
 
 struct EstablishRequest {

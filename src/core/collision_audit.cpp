@@ -1,5 +1,6 @@
 #include "core/collision_audit.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mic::core {
@@ -128,6 +129,59 @@ AuditReport audit_collisions(MimicController& mc) {
           }
           for (const auto& bucket : group->buckets) check_actions(bucket);
         }
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_orphan_rules(MimicController& mc) {
+  AuditReport report;
+  const std::vector<ChannelId> live = mc.channel_ids();
+  const auto is_live = [&live](std::uint64_t cookie) {
+    return std::binary_search(live.begin(), live.end(), cookie);
+  };
+
+  // 1. Every installed cookie belongs to a live channel (or is CF state).
+  for (const topo::NodeId sw : mc.graph().switches()) {
+    const auto& table = mc.switch_at(sw)->table();
+    for (const auto& rule : table.rules()) {
+      ++report.rules_checked;
+      if (rule.cookie == ctrl::kL3Cookie) continue;
+      ++report.mflow_rules;
+      if (!is_live(rule.cookie)) {
+        report.ok = false;
+        report.violations.push_back(
+            describe(sw, rule, "orphan rule: cookie has no live channel"));
+      }
+    }
+    for (const auto& group : table.groups()) {
+      ++report.rules_checked;
+      if (group.cookie == ctrl::kL3Cookie || is_live(group.cookie)) continue;
+      report.ok = false;
+      report.violations.push_back(
+          "switch " + std::to_string(sw) + " group " +
+          std::to_string(group.group_id) +
+          ": orphan group: cookie has no live channel");
+    }
+  }
+
+  // 2. Every live channel's rules actually exist where its plan says.
+  for (const ChannelId id : live) {
+    const ChannelState* state = mc.channel(id);
+    for (const topo::NodeId sw : state->touched_switches) {
+      bool found = false;
+      for (const auto& rule : mc.switch_at(sw)->table().rules()) {
+        if (rule.cookie == id) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        report.ok = false;
+        report.violations.push_back(
+            "channel " + std::to_string(id) + ": no rules on switch " +
+            std::to_string(sw) + " despite touching it");
       }
     }
   }

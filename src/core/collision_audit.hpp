@@ -26,4 +26,14 @@ struct AuditReport {
 
 AuditReport audit_collisions(MimicController& mc);
 
+/// Orphan-rule audit (DESIGN.md FD-1): after quiescence, the installed
+/// rule set and the live channel set must coincide --
+///  1. every rule and group on every switch is either common-flow state
+///     (cookie == ctrl::kL3Cookie) or tagged with a *live* channel ID, and
+///  2. every live channel has at least one rule on each switch its plan
+///     says it touches.
+/// Violations mean a teardown/repair/rollback leaked state (1) or a commit
+/// claimed success it never delivered (2).
+AuditReport audit_orphan_rules(MimicController& mc);
+
 }  // namespace mic::core

@@ -26,6 +26,9 @@ Fabric::Fabric(FabricOptions options)
   if (options_.install_default_routing) {
     mc_->install_default_routing();
   }
+  // Loss of signal anywhere in the fabric reaches the MC by itself; the
+  // harness only has to flip links, never to report them.
+  mc_->enable_failure_detection();
 }
 
 GenericFabric::GenericFabric(
@@ -52,6 +55,7 @@ GenericFabric::GenericFabric(
   if (options.install_default_routing) {
     mc_->install_default_routing();
   }
+  mc_->enable_failure_detection();
 }
 
 }  // namespace mic::core

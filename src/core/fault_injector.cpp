@@ -1,0 +1,141 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace mic::core {
+
+namespace {
+
+std::string us(sim::SimTime t) {
+  return std::to_string(t / 1000) + "us";
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(net::Network& network, MimicController& mc,
+                             FaultInjectorOptions options)
+    : network_(network), mc_(mc), options_(options), rng_(options.seed) {
+  MIC_ASSERT(options_.min_outage > 0 &&
+             options_.min_outage <= options_.max_outage);
+}
+
+void FaultInjector::arm() {
+  MIC_ASSERT_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+
+  sim::Simulator& sim = network_.simulator();
+  const topo::Graph& graph = mc_.graph();
+  auto fault_time = [this] {
+    return options_.start + rng_.below(std::max<sim::SimTime>(options_.window, 1));
+  };
+  auto outage_time = [this] {
+    return options_.min_outage +
+           rng_.below(options_.max_outage - options_.min_outage + 1);
+  };
+
+  // Crash victims first; flap victims then avoid their incident links, so a
+  // flap's restore can never half-revive a switch the schedule crashed.
+  std::vector<topo::NodeId> switches = graph.switches();
+  rng_.shuffle(switches);
+  const std::size_t crash_count =
+      std::min<std::size_t>(static_cast<std::size_t>(
+                                std::max(options_.switch_crashes, 0)),
+                            switches.size());
+  std::unordered_set<topo::NodeId> crash_victims(
+      switches.begin(), switches.begin() + crash_count);
+
+  for (std::size_t i = 0; i < crash_count; ++i) {
+    const topo::NodeId sw = switches[i];
+    const sim::SimTime down_at = fault_time();
+    const sim::SimTime up_at = down_at + outage_time();
+    schedule_log_.push_back("crash switch " + std::to_string(sw) + " @" +
+                            us(down_at) + " until " + us(up_at));
+    sim.schedule_in(down_at, [this, sw, &graph] {
+      crashed_now_.insert(sw);
+      for (const auto& adj : graph.neighbors(sw)) {
+        network_.set_link_up(adj.link, false);
+      }
+      mc_.fail_switch(sw);
+      ++switches_crashed_;
+    });
+    sim.schedule_in(up_at, [this, sw, &graph] {
+      crashed_now_.erase(sw);
+      // Leave links to a still-crashed peer down; that peer's own recovery
+      // raises them, so a zombie neighbour is never routed through.
+      for (const auto& adj : graph.neighbors(sw)) {
+        if (!crashed_now_.contains(adj.peer)) {
+          network_.set_link_up(adj.link, true);
+        }
+      }
+      mc_.restore_switch(sw);
+    });
+  }
+
+  // Link flaps: distinct victims, switch-switch links preferred (in a
+  // server-centric topology like BCube every link touches a host and all
+  // are eligible), never incident to a crash victim.
+  std::vector<topo::LinkId> interior, any;
+  for (topo::LinkId link = 0;
+       link < static_cast<topo::LinkId>(graph.link_count()); ++link) {
+    const auto [a, b] = graph.link_endpoints(link);
+    if (crash_victims.contains(a) || crash_victims.contains(b)) continue;
+    any.push_back(link);
+    if (graph.is_switch(a) && graph.is_switch(b)) interior.push_back(link);
+  }
+  std::vector<topo::LinkId>& candidates = interior.empty() ? any : interior;
+  rng_.shuffle(candidates);
+  const std::size_t flap_count = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(options_.link_flaps, 0)),
+      candidates.size());
+  for (std::size_t i = 0; i < flap_count; ++i) {
+    const topo::LinkId link = candidates[i];
+    const sim::SimTime down_at = fault_time();
+    const sim::SimTime up_at = down_at + outage_time();
+    schedule_log_.push_back("flap link " + std::to_string(link) + " @" +
+                            us(down_at) + " until " + us(up_at));
+    sim.schedule_in(down_at, [this, link] {
+      network_.set_link_up(link, false);
+      ++links_flapped_;
+    });
+    sim.schedule_in(up_at,
+                    [this, link] { network_.set_link_up(link, true); });
+  }
+
+  // Install-fault bursts: one switch per burst starts rejecting flow-mods.
+  for (int i = 0; i < options_.install_fault_bursts && !switches.empty();
+       ++i) {
+    const topo::NodeId sw =
+        switches[rng_.below(static_cast<std::uint64_t>(switches.size()))];
+    const sim::SimTime at = fault_time();
+    const std::uint64_t fault_seed = rng_.next();
+    schedule_log_.push_back("install faults on switch " + std::to_string(sw) +
+                            " @" + us(at) + " for " +
+                            us(options_.install_fault_duration));
+    sim.schedule_in(at, [this, sw, fault_seed] {
+      mc_.switch_at(sw)->inject_install_faults(
+          options_.install_fault_probability, fault_seed);
+      ++bursts_fired_;
+    });
+    sim.schedule_in(at + options_.install_fault_duration, [this, sw] {
+      mc_.switch_at(sw)->clear_install_faults();
+    });
+  }
+
+  // Control-message drop bursts (controller-wide).
+  for (int i = 0; i < options_.control_drop_bursts; ++i) {
+    const sim::SimTime at = fault_time();
+    schedule_log_.push_back("control drops @" + us(at) + " for " +
+                            us(options_.control_drop_duration));
+    sim.schedule_in(at, [this] {
+      mc_.set_control_drop_probability(options_.control_drop_probability);
+      ++bursts_fired_;
+    });
+    sim.schedule_in(at + options_.control_drop_duration, [this] {
+      mc_.set_control_drop_probability(0.0);
+    });
+  }
+}
+
+}  // namespace mic::core

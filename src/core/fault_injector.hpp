@@ -1,0 +1,91 @@
+// Deterministic fault-injection harness: a seeded schedule of link flaps,
+// switch crash/recover cycles, rule-install fault bursts and control-message
+// drop bursts, all scheduled on the simulator at arm() time.  Every fault it
+// injects is transient (the schedule always restores what it broke), so a
+// run that reaches quiescence does so on a healed fabric -- which is what
+// the chaos soak's invariants (FD-1, CA-1, delivery) are defined against.
+//
+// The injector only touches public knobs: net::Network::set_link_up (the
+// PHY), MimicController::fail_switch/restore_switch (operator-style crash
+// semantics; the port-status pipeline detects the link side on its own),
+// SdnSwitch::inject_install_faults and the controller's control-message
+// drop probability.  Identical seed + topology + workload => identical
+// schedule => identical simulation (SIM-1).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mimic_controller.hpp"
+
+namespace mic::core {
+
+struct FaultInjectorOptions {
+  std::uint64_t seed = 1;
+  /// Faults fire at uniformly random offsets in [start, start + window),
+  /// measured from the moment arm() is called.
+  sim::SimTime start = sim::milliseconds(1);
+  sim::SimTime window = sim::milliseconds(60);
+
+  /// Link flaps: a link goes down, stays down for a uniform outage in
+  /// [min_outage, max_outage], and comes back.  Victims prefer
+  /// switch-switch links when the topology has any (fat-tree, leaf-spine);
+  /// in server-centric topologies (BCube) every link is a host link and
+  /// all are eligible.
+  int link_flaps = 4;
+  sim::SimTime min_outage = sim::milliseconds(1);
+  sim::SimTime max_outage = sim::milliseconds(15);
+
+  /// Whole-switch crash/recover cycles (same outage distribution).  Crash
+  /// victims and flap victims are kept disjoint so a flap's restore cannot
+  /// half-revive a crashed switch.
+  int switch_crashes = 1;
+
+  /// Rule-install fault bursts: one random switch rejects each install
+  /// with `install_fault_probability` for `install_fault_duration`.
+  int install_fault_bursts = 1;
+  double install_fault_probability = 0.5;
+  sim::SimTime install_fault_duration = sim::milliseconds(3);
+
+  /// Control-message drop bursts: checked flow-mods/replies anywhere in
+  /// the fabric are dropped with `control_drop_probability`.
+  int control_drop_bursts = 1;
+  double control_drop_probability = 0.25;
+  sim::SimTime control_drop_duration = sim::milliseconds(3);
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& network, MimicController& mc,
+                FaultInjectorOptions options = {});
+
+  /// Derive the full fault schedule from the seed and put every event on
+  /// the simulator.  Call once, before (or while) traffic runs.
+  void arm();
+
+  std::size_t links_flapped() const noexcept { return links_flapped_; }
+  std::size_t switches_crashed() const noexcept { return switches_crashed_; }
+  std::size_t bursts_fired() const noexcept { return bursts_fired_; }
+  /// Human-readable schedule, in injection order (diagnostics; also handy
+  /// as determinism evidence -- same seed, same log).
+  const std::vector<std::string>& schedule_log() const noexcept {
+    return schedule_log_;
+  }
+
+ private:
+  net::Network& network_;
+  MimicController& mc_;
+  FaultInjectorOptions options_;
+  Rng rng_;
+  bool armed_ = false;
+  /// Switches currently down, as the *injector* sequenced them (the MC has
+  /// its own view that lags by the detection pipeline).
+  std::unordered_set<topo::NodeId> crashed_now_;
+  std::size_t links_flapped_ = 0;
+  std::size_t switches_crashed_ = 0;
+  std::size_t bursts_fired_ = 0;
+  std::vector<std::string> schedule_log_;
+};
+
+}  // namespace mic::core

@@ -19,7 +19,14 @@ MicChannel::MicChannel(transport::Host& host, MimicController& mc,
                        MicChannelOptions options, Rng& rng)
     : host_(host), mc_(mc), options_(std::move(options)), rng_(rng) {
   started_at_ = host_.simulator().now();
+  start_establish();
+}
 
+MicChannel::~MicChannel() {
+  if (channel_id_ != 0) mc_.clear_channel_listener(channel_id_);
+}
+
+void MicChannel::start_establish() {
   // First contact: run the one-time key exchange with the MC (both sides
   // pay the asymmetric cost once per client).
   const bool known = mc_.client_registered(host_.ip());
@@ -28,6 +35,7 @@ MicChannel::MicChannel(transport::Host& host, MimicController& mc,
     host_.charge(2 * host_.costs().dh_modexp_cycles);
   }
 
+  sports_.clear();
   sports_.reserve(static_cast<std::size_t>(options_.flow_count));
   for (int i = 0; i < options_.flow_count; ++i) {
     sports_.push_back(host_.reserve_port());
@@ -49,21 +57,99 @@ MicChannel::MicChannel(transport::Host& host, MimicController& mc,
   control_counter_ = host_.fresh_stream_uid();
   crypt_control_message(key, control_counter_, bytes);
 
+  const std::uint64_t gen = generation_;
   mc_.async_establish(host_.ip(), std::move(bytes), control_counter_,
-                      [this](const EstablishResult& result) {
+                      [this, gen](const EstablishResult& result) {
+                        if (gen != generation_ || user_closed_) return;
                         on_established(result);
                       });
 }
 
+void MicChannel::fail_with(const std::string& reason) {
+  failed_ = true;
+  error_ = reason;
+  ready_ = false;
+  log_warn("MIC channel failed: %s", reason.c_str());
+  if (on_lost_) on_lost_(reason);
+  if (!closed_notified_) {
+    closed_notified_ = true;
+    notify_closed();
+  }
+}
+
+void MicChannel::retire_flows() {
+  // De-generation first: the closes below must not be mistaken for a peer
+  // shutdown, and late data/ready callbacks on the old connections are
+  // stale by definition.
+  ++generation_;
+  ready_ = false;
+  flows_ready_ = 0;
+  send_seq_ = 0;
+  reorderer_ = SliceReorderer{};
+  channel_id_ = 0;
+  for (Flow& flow : flows_) {
+    if (flow.stream != nullptr) flow.stream->close();
+  }
+  for (Flow& flow : flows_) retired_flows_.push_back(std::move(flow));
+  flows_.clear();
+}
+
+void MicChannel::on_channel_event(MimicController::ChannelEvent event,
+                                  const std::string& reason) {
+  if (event == MimicController::ChannelEvent::kRepaired) {
+    // Transparent repair: entry addresses survived, the TCP connections
+    // never noticed.  Nothing to do but count it.
+    ++repairs_;
+    return;
+  }
+  // kLost: the channel no longer exists at the MC.  Either give up or ask
+  // for a fresh one (new entry addresses, new m-flow connections).
+  if (user_closed_) return;
+  if (options_.auto_reestablish &&
+      reestablish_attempts_ < options_.reestablish_limit) {
+    ++reestablish_attempts_;
+    retire_flows();
+    const sim::SimTime base = options_.reestablish_backoff_base;
+    const int shift = std::min(reestablish_attempts_ - 1, 20);
+    sim::SimTime backoff = base << shift;
+    if (backoff > options_.reestablish_backoff_cap ||
+        (shift > 0 && (backoff >> shift) != base)) {
+      backoff = options_.reestablish_backoff_cap;
+    }
+    const sim::SimTime jitter = base == 0 ? 0 : rng_.below(base);
+    const std::uint64_t gen = generation_;
+    host_.simulator().schedule_in(backoff + jitter, [this, gen] {
+      if (gen != generation_ || user_closed_) return;
+      start_establish();
+    });
+    return;
+  }
+  retire_flows();
+  fail_with(reason);
+}
+
 void MicChannel::on_established(const EstablishResult& result) {
   if (!result.ok) {
-    failed_ = true;
-    error_ = result.error;
-    log_warn("MIC establish failed: %s", error_.c_str());
-    notify_closed();
+    if (options_.auto_reestablish &&
+        reestablish_attempts_ < options_.reestablish_limit &&
+        reestablish_attempts_ > 0) {
+      // A re-establishment raced a still-unrepaired fabric; try again.
+      on_channel_event(MimicController::ChannelEvent::kLost, result.error);
+      return;
+    }
+    fail_with(result.error);
     return;
   }
   channel_id_ = result.channel;
+  failed_ = false;
+  error_.clear();
+  const std::uint64_t gen = generation_;
+  mc_.set_channel_listener(
+      channel_id_, [this, gen](MimicController::ChannelEvent event,
+                               const std::string& reason) {
+        if (gen != generation_) return;
+        on_channel_event(event, reason);
+      });
   // Decrypting the acknowledgement costs the client another AES pass.
   host_.charge(host_.costs().aes_crypt_cycles(
       8.0 * static_cast<double>(result.entries.size()) + 16.0));
@@ -81,7 +167,8 @@ void MicChannel::on_established(const EstablishResult& result) {
       flow.stream = flow.tcp;
     }
 
-    flow.stream->set_on_ready([this] {
+    flow.stream->set_on_ready([this, gen] {
+      if (gen != generation_) return;
       if (++flows_ready_ == static_cast<int>(flows_.size())) {
         ready_ = true;
         ready_at_ = host_.simulator().now();
@@ -100,7 +187,8 @@ void MicChannel::on_established(const EstablishResult& result) {
         flush_pending();
       }
     });
-    flow.stream->set_on_data([this, i](const transport::ChunkView& view) {
+    flow.stream->set_on_data([this, i, gen](const transport::ChunkView& view) {
+      if (gen != generation_) return;
       flows_[i].parser.feed(view, [this](const SliceHeader& header,
                                          transport::Chunk payload) {
         reorderer_.push(header.seq, std::move(payload),
@@ -109,7 +197,8 @@ void MicChannel::on_established(const EstablishResult& result) {
                         });
       });
     });
-    flow.stream->set_on_closed([this] {
+    flow.stream->set_on_closed([this, gen] {
+      if (gen != generation_) return;
       if (!closed_notified_) {
         closed_notified_ = true;
         notify_closed();
@@ -155,9 +244,11 @@ void MicChannel::flush_pending() {
 }
 
 void MicChannel::close() {
+  user_closed_ = true;
   for (Flow& flow : flows_) {
     if (flow.stream != nullptr) flow.stream->close();
   }
+  if (channel_id_ != 0) mc_.clear_channel_listener(channel_id_);
   // The shutdown notification travels the control channel.
   const ChannelId id = channel_id_;
   auto& mc = mc_;

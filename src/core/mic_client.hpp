@@ -35,6 +35,18 @@ struct MicChannelOptions {
   /// Slice sizing for the striping (uniform in [min, max]).
   std::uint32_t min_slice = 8 * 1024;
   std::uint32_t max_slice = 32 * 1024;
+
+  // --- failure handling ------------------------------------------------------
+  /// When the MC reports the channel lost (unrepairable failure, idle
+  /// reclamation), automatically request a fresh establishment instead of
+  /// failing: new m-flow connections, new entry addresses, same responder.
+  /// Buffered data survives; in-flight slices on the dead flows do not.
+  bool auto_reestablish = false;
+  /// Capped exponential backoff (plus seeded jitter) between automatic
+  /// re-establishment attempts, and how many to try before giving up.
+  sim::SimTime reestablish_backoff_base = sim::milliseconds(2);
+  sim::SimTime reestablish_backoff_cap = sim::milliseconds(50);
+  int reestablish_limit = 4;
 };
 
 class MicChannel : public transport::ByteStream {
@@ -43,10 +55,19 @@ class MicChannel : public transport::ByteStream {
   /// MC acknowledged and all F m-flow connections are up.
   MicChannel(transport::Host& host, MimicController& mc,
              MicChannelOptions options, Rng& rng);
+  ~MicChannel() override;
 
   void send(transport::Chunk chunk) override;
   void close() override;
   bool ready() const override { return ready_; }
+
+  /// Channel-loss callback: fires when the MC declares this channel lost
+  /// (after any automatic re-establishment attempts are exhausted).  The
+  /// reason string is the MC's (e.g. "link failure: responder
+  /// unreachable", "idle channel reclaimed").
+  void set_on_lost(std::function<void(const std::string&)> handler) {
+    on_lost_ = std::move(handler);
+  }
 
   /// Mark the channel idle at the MC instead of tearing it down
   /// (Sec IV-B1 channel reuse).
@@ -57,6 +78,10 @@ class MicChannel : public transport::ByteStream {
   ChannelId id() const noexcept { return channel_id_; }
   bool failed() const noexcept { return failed_; }
   const std::string& error() const noexcept { return error_; }
+  /// MC-side transparent repairs survived (endpoints kept, path moved).
+  std::uint64_t repair_count() const noexcept { return repairs_; }
+  /// Automatic re-establishments attempted so far.
+  int reestablish_attempts() const noexcept { return reestablish_attempts_; }
   /// Time from construction to ready (the paper's "MIC connect" time).
   sim::SimTime setup_time() const noexcept { return ready_at_ - started_at_; }
   int flow_count() const noexcept { return static_cast<int>(flows_.size()); }
@@ -75,7 +100,14 @@ class MicChannel : public transport::ByteStream {
     std::uint64_t bytes_sent = 0;
   };
 
+  void start_establish();
   void on_established(const EstablishResult& result);
+  void on_channel_event(MimicController::ChannelEvent event,
+                        const std::string& reason);
+  /// Park the current m-flows (their callbacks are de-generationed, the
+  /// streams closed) and reset the wire state for a fresh establishment.
+  void retire_flows();
+  void fail_with(const std::string& reason);
   void send_slice(transport::Chunk payload);
   void flush_pending();
 
@@ -86,15 +118,25 @@ class MicChannel : public transport::ByteStream {
 
   ChannelId channel_id_ = 0;
   std::vector<Flow> flows_;
+  /// Flows from previous establishments: kept alive (their transport
+  /// callbacks still reference them) but ignored via the generation guard.
+  std::vector<Flow> retired_flows_;
   std::vector<net::L4Port> sports_;
   SliceReorderer reorderer_;
   std::deque<transport::Chunk> pending_;
+  std::function<void(const std::string&)> on_lost_;
   std::uint32_t send_seq_ = 0;
+  /// Establishment generation: bumped each time the flows are retired, so
+  /// callbacks wired to an older generation become no-ops.
+  std::uint64_t generation_ = 1;
   bool ready_ = false;
   bool failed_ = false;
   bool closed_notified_ = false;
+  bool user_closed_ = false;
   std::string error_;
   int flows_ready_ = 0;
+  int reestablish_attempts_ = 0;
+  std::uint64_t repairs_ = 0;
   sim::SimTime started_at_ = 0;
   sim::SimTime ready_at_ = 0;
   std::uint64_t control_counter_ = 0;

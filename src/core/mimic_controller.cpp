@@ -1,6 +1,7 @@
 #include "core/mimic_controller.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/log.hpp"
 
@@ -356,8 +357,7 @@ void MimicController::install_direction(
     ChannelId id, const MFlowPlan& plan, const topo::Path& path,
     const std::vector<std::size_t>& mn_positions,
     const std::vector<HopAddresses>& hops,
-    const std::vector<DecoyPlan>& decoys, bool immediate,
-    std::vector<topo::NodeId>& touched) {
+    const std::vector<DecoyPlan>& decoys, std::vector<InstallOp>& ops) {
   const auto& g = graph();
   const std::size_t n = mn_positions.size();
 
@@ -395,7 +395,6 @@ void MimicController::install_direction(
 
   for (std::size_t t = 1; t + 1 < path.size(); ++t) {
     const topo::NodeId sw = path[t];
-    touched.push_back(sw);
     const topo::PortId in_port = g.port_towards(sw, path[t - 1]);
     const topo::PortId egress = g.port_towards(sw, path[t + 1]);
 
@@ -411,7 +410,7 @@ void MimicController::install_direction(
 
     if (!is_mn) {
       rule.actions = {switchd::Output{egress}};
-      install_rule(sw, std::move(rule), immediate);
+      ops.push_back({sw, std::move(rule)});
       continue;
     }
 
@@ -441,32 +440,140 @@ void MimicController::install_direction(
         drop.cookie = id;
         drop.match = make_match(decoy_hop, decoy.next_in_port);
         drop.actions = {switchd::DropAction{}};
-        install_rule(decoy.next_switch, std::move(drop), immediate);
-        touched.push_back(decoy.next_switch);
+        ops.push_back({decoy.next_switch, std::move(drop)});
       }
-      install_group(sw, std::move(group), immediate);
+      // The group precedes the rule that references it; commits preserve
+      // op order, so the reference is never dangling.
+      ops.push_back({sw, std::move(group)});
       rule.actions = {switchd::GroupAction{next_group_ - 1}};
     } else {
       rule.actions = std::move(actions);
     }
-    install_rule(sw, std::move(rule), immediate);
+    ops.push_back({sw, std::move(rule)});
   }
   (void)plan;
 }
 
 void MimicController::install_flow(ChannelId id, const MFlowPlan& plan,
-                                   bool immediate,
-                                   std::vector<topo::NodeId>& touched) {
+                                   std::vector<InstallOp>& ops) {
   install_direction(id, plan, plan.path, plan.mn_positions, plan.forward,
-                    plan.decoys, immediate, touched);
+                    plan.decoys, ops);
   topo::Path rpath(plan.path.rbegin(), plan.path.rend());
   std::vector<std::size_t> rpositions;
   for (const std::size_t pos : plan.mn_positions) {
     rpositions.push_back(plan.path.size() - 1 - pos);
   }
   std::sort(rpositions.begin(), rpositions.end());
-  install_direction(id, plan, rpath, rpositions, plan.reverse, {}, immediate,
-                    touched);
+  install_direction(id, plan, rpath, rpositions, plan.reverse, {}, ops);
+}
+
+std::vector<topo::NodeId> MimicController::touched_switches(
+    const std::vector<InstallOp>& ops) const {
+  std::vector<topo::NodeId> nodes;
+  nodes.reserve(ops.size());
+  for (const InstallOp& op : ops) nodes.push_back(op.sw);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bool MimicController::commit_now(std::uint64_t cookie,
+                                 const std::vector<InstallOp>& ops) {
+  for (const InstallOp& op : ops) {
+    const bool ok =
+        std::holds_alternative<switchd::FlowRule>(op.payload)
+            ? install_rule_now(op.sw, std::get<switchd::FlowRule>(op.payload))
+            : install_group_now(op.sw,
+                                std::get<switchd::GroupEntry>(op.payload));
+    if (!ok) {
+      for (const topo::NodeId sw : touched_switches(ops)) {
+        remove_cookie(sw, cookie, /*immediate=*/true);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::SimTime MimicController::retry_delay(int attempt) {
+  const sim::SimTime base = mic_config_.install_backoff_base;
+  const sim::SimTime cap = mic_config_.install_backoff_cap;
+  const int shift = std::min(attempt - 1, 20);
+  sim::SimTime backoff = base << shift;
+  if (backoff > cap || (shift > 0 && (backoff >> shift) != base)) {
+    backoff = cap;
+  }
+  const sim::SimTime jitter = base == 0 ? 0 : rng_.below(base);
+  return config().southbound_latency + backoff + jitter;
+}
+
+void MimicController::commit_async(ChannelId id, std::uint64_t txn,
+                                   std::vector<InstallOp> ops,
+                                   std::function<void(bool)> on_done,
+                                   int attempt) {
+  {
+    const auto it = channels_.find(id);
+    if (it == channels_.end() || it->second.install_txn != txn) {
+      // Torn down or superseded since this commit (or retry) was issued;
+      // the cookie's current owner manages the rules now.
+      on_done(false);
+      return;
+    }
+  }
+  if (ops.empty()) {
+    on_done(true);
+    return;
+  }
+
+  struct Txn {
+    std::vector<InstallOp> ops;
+    std::function<void(bool)> on_done;
+    std::size_t pending = 0;
+    bool failed = false;
+  };
+  auto txn_state = std::make_shared<Txn>();
+  txn_state->ops = std::move(ops);
+  txn_state->on_done = std::move(on_done);
+  txn_state->pending = txn_state->ops.size();
+
+  auto settle = [this, id, txn, txn_state, attempt](bool ok) {
+    if (!ok) txn_state->failed = true;
+    if (--txn_state->pending != 0) return;
+    if (!txn_state->failed) {
+      txn_state->on_done(true);
+      return;
+    }
+    const auto it = channels_.find(id);
+    if (it == channels_.end() || it->second.install_txn != txn) {
+      txn_state->on_done(false);
+      return;
+    }
+    // All-or-nothing: pull whatever landed before trying again.  A lost
+    // reply may have left its rule installed; rollback-by-cookie makes the
+    // retry start from a clean slate either way.
+    for (const topo::NodeId sw : touched_switches(txn_state->ops)) {
+      remove_cookie(sw, id, /*immediate=*/false);
+    }
+    if (attempt >= mic_config_.install_retry_limit) {
+      txn_state->on_done(false);
+      return;
+    }
+    ++install_retries_;
+    network().simulator().schedule_in(
+        retry_delay(attempt), [this, id, txn, txn_state, attempt] {
+          commit_async(id, txn, std::move(txn_state->ops),
+                       std::move(txn_state->on_done), attempt + 1);
+        });
+  };
+
+  for (const InstallOp& op : txn_state->ops) {
+    if (const auto* rule = std::get_if<switchd::FlowRule>(&op.payload)) {
+      install_rule_checked(op.sw, *rule, settle);
+    } else {
+      install_group_checked(op.sw, std::get<switchd::GroupEntry>(op.payload),
+                            settle);
+    }
+  }
 }
 
 MimicController::PlanContext MimicController::context_of(
@@ -481,8 +588,8 @@ MimicController::PlanContext MimicController::context_of(
   return ctx;
 }
 
-EstablishResult MimicController::establish(const EstablishRequest& request,
-                                           bool immediate_install) {
+EstablishResult MimicController::plan_channel(const EstablishRequest& request,
+                                              std::vector<InstallOp>& ops) {
   ++requests_;
   EstablishResult result;
 
@@ -538,14 +645,12 @@ EstablishResult MimicController::establish(const EstablishRequest& request,
     state.flows.push_back(std::move(plan));
   }
 
+  std::vector<InstallOp> planned;
   for (const MFlowPlan& plan : state.flows) {
-    install_flow(state.id, plan, immediate_install, state.touched_switches);
+    install_flow(state.id, plan, planned);
   }
-  std::sort(state.touched_switches.begin(), state.touched_switches.end());
-  state.touched_switches.erase(
-      std::unique(state.touched_switches.begin(),
-                  state.touched_switches.end()),
-      state.touched_switches.end());
+  state.touched_switches = touched_switches(planned);
+  state.install_txn = 1;
 
   result.ok = true;
   result.channel = state.id;
@@ -553,6 +658,24 @@ EstablishResult MimicController::establish(const EstablishRequest& request,
     result.entries.push_back({plan.forward[0].dst, plan.forward[0].dport});
   }
   channels_.emplace(state.id, std::move(state));
+  ops = std::move(planned);
+  return result;
+}
+
+EstablishResult MimicController::establish(const EstablishRequest& request) {
+  std::vector<InstallOp> ops;
+  EstablishResult result = plan_channel(request, ops);
+  if (!result.ok) return result;
+  if (!commit_now(result.channel, ops)) {
+    const auto it = channels_.find(result.channel);
+    for (const MFlowPlan& plan : it->second.flows) {
+      release_plan_resources(plan);
+    }
+    channels_.erase(it);
+    EstablishResult failed;
+    failed.error = "rule install rejected; channel rolled back";
+    return failed;
+  }
   return result;
 }
 
@@ -582,12 +705,48 @@ void MimicController::async_establish(
 
         network().simulator().schedule_at(done, [this, request,
                                                  cb = std::move(cb)] {
-          EstablishResult result = establish(request, /*immediate=*/false);
-          // The acknowledgement leaves once the rules have landed.
-          network().simulator().schedule_in(
-              config().southbound_latency + mic_config_.control_latency,
-              [cb = std::move(cb), result = std::move(result)] {
-                cb(result);
+          std::vector<InstallOp> ops;
+          EstablishResult result = plan_channel(request, ops);
+          if (!result.ok) {
+            network().simulator().schedule_in(
+                config().southbound_latency + mic_config_.control_latency,
+                [cb = std::move(cb), result = std::move(result)] {
+                  cb(result);
+                });
+            return;
+          }
+          // The acknowledgement leaves once every rule is confirmed (an
+          // install that fails after retries rolls the channel back and
+          // turns the ack into an error).
+          const ChannelId id = result.channel;
+          commit_async(
+              id, /*txn=*/1, std::move(ops),
+              [this, id, result = std::move(result),
+               cb = std::move(cb)](bool committed) mutable {
+                const auto it = channels_.find(id);
+                const bool alive = it != channels_.end();
+                const bool current =
+                    alive && it->second.install_txn == 1;
+                if (!committed && current) {
+                  for (const MFlowPlan& plan : it->second.flows) {
+                    release_plan_resources(plan);
+                  }
+                  channels_.erase(it);
+                  listeners_.erase(id);
+                  result = EstablishResult{};
+                  result.error = "rule install failed after retries";
+                } else if (!committed && !alive) {
+                  result = EstablishResult{};
+                  result.error = "channel lost during establishment";
+                }
+                // committed, or superseded by a repair with the channel
+                // still alive: the entry addresses are stable across
+                // re-planning, so the original acknowledgement stands.
+                network().simulator().schedule_in(
+                    mic_config_.control_latency,
+                    [cb = std::move(cb), result = std::move(result)] {
+                      cb(result);
+                    });
               });
         });
       });
@@ -643,16 +802,140 @@ void MimicController::teardown(ChannelId id, bool immediate) {
     release_plan_resources(plan);
   }
   channels_.erase(it);
+  listeners_.erase(id);
+}
+
+// --- failure handling ---------------------------------------------------------
+
+void MimicController::enable_failure_detection() {
+  if (detection_enabled_) return;
+  detection_enabled_ = true;
+  subscribe_port_status();
+}
+
+void MimicController::on_port_status(topo::NodeId sw, topo::PortId port,
+                                     bool up) {
+  // Map the reporting port back to its link.
+  topo::LinkId link = topo::kInvalidLink;
+  for (const auto& adj : graph().neighbors(sw)) {
+    if (adj.local_port == port) {
+      link = adj.link;
+      break;
+    }
+  }
+  if (link == topo::kInvalidLink) return;
+  // Both ends of a switch-switch link report the same failure, and the
+  // harness may have reported it by hand already: only the first report
+  // per transition acts.
+  if (!up && !failed_links_.contains(link)) {
+    fail_link(link);
+  } else if (up && failed_links_.contains(link)) {
+    restore_link(link);
+  }
+}
+
+void MimicController::set_channel_listener(ChannelId id,
+                                           ChannelListener listener) {
+  listeners_[id] = std::move(listener);
+}
+
+void MimicController::clear_channel_listener(ChannelId id) {
+  listeners_.erase(id);
+}
+
+void MimicController::notify_channel_event(ChannelId id, ChannelEvent event,
+                                           std::string reason) {
+  const auto it = listeners_.find(id);
+  if (it == listeners_.end()) {
+    if (event == ChannelEvent::kLost) listeners_.erase(id);
+    return;
+  }
+  network().simulator().schedule_in(
+      mic_config_.control_latency,
+      [listener = it->second, event, reason = std::move(reason)] {
+        listener(event, reason);
+      });
+  // A lost channel's listener can never fire again.
+  if (event == ChannelEvent::kLost) listeners_.erase(it);
+}
+
+void MimicController::lose_channel(ChannelId id, const std::string& reason) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  log_warn("channel %llu lost: %s", static_cast<unsigned long long>(id),
+           reason.c_str());
+  for (const topo::NodeId sw : it->second.touched_switches) {
+    remove_cookie(sw, id, /*immediate=*/false);
+  }
+  for (const MFlowPlan& plan : it->second.flows) {
+    release_plan_resources(plan);
+  }
+  channels_.erase(it);
+  ++channels_lost_;
+  notify_channel_event(id, ChannelEvent::kLost, reason);
+}
+
+MimicController::RepairOutcome MimicController::repair_channels(
+    const std::vector<ChannelId>& affected, const std::string& cause) {
+  RepairOutcome outcome;
+  for (const ChannelId id : affected) {
+    ChannelState& state = channels_.at(id);
+    const PlanContext ctx = context_of(state);
+
+    // Pull the old rules everywhere this channel touched.
+    for (const topo::NodeId sw : state.touched_switches) {
+      remove_cookie(sw, id, /*immediate=*/false);
+    }
+    state.touched_switches.clear();
+
+    bool ok = true;
+    std::string error;
+    for (MFlowPlan& plan : state.flows) {
+      if (!replan_flow(ctx, plan, error)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      lose_channel(id, cause + ": " + error);
+      ++outcome.lost;
+      continue;
+    }
+
+    std::vector<InstallOp> ops;
+    for (const MFlowPlan& plan : state.flows) {
+      install_flow(id, plan, ops);
+    }
+    state.touched_switches = touched_switches(ops);
+    const std::uint64_t txn = ++state.install_txn;
+    commit_async(id, txn, std::move(ops),
+                 [this, id, txn, cause](bool committed) {
+                   const auto it = channels_.find(id);
+                   if (it == channels_.end() ||
+                       it->second.install_txn != txn) {
+                     return;  // superseded by a later repair or teardown
+                   }
+                   if (committed) {
+                     ++channels_repaired_;
+                     notify_channel_event(id, ChannelEvent::kRepaired, cause);
+                   } else {
+                     lose_channel(id,
+                                  cause + ": rule re-install failed after "
+                                          "retries");
+                   }
+                 });
+    ++outcome.repaired;
+  }
+  return outcome;
 }
 
 MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
-  failed_links_.insert(link);
+  if (!failed_links_.insert(link).second) return {};  // already known
   // Bump the path engine's failure epoch first: only the cached BFS rows
   // whose shortest-path DAG used the link are dropped, so both the L3
   // reroute and the m-flow re-planning below see failure-aware distances
   // without a full-table rebuild.
   path_engine().link_failed(link);
-  RepairOutcome outcome;
 
   // Common flows first: re-install the default routing around the failure
   // (fast failover; ECMP absorbs single-link failures in Clos fabrics).
@@ -680,47 +963,92 @@ MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
       }
     }
   }
+  // channels_ is unordered; repair in ID order so the rng_ draws (and with
+  // them the whole run) stay deterministic (SIM-1).
+  std::sort(affected.begin(), affected.end());
+  return repair_channels(affected, "link failure");
+}
 
-  for (const ChannelId id : affected) {
-    ChannelState& state = channels_.at(id);
-    const PlanContext ctx = context_of(state);
-
-    // Pull the old rules everywhere this channel touched.
-    for (const topo::NodeId sw : state.touched_switches) {
-      remove_cookie(sw, id, /*immediate=*/false);
-    }
-    state.touched_switches.clear();
-
-    bool ok = true;
-    std::string error;
-    for (MFlowPlan& plan : state.flows) {
-      if (!replan_flow(ctx, plan, error)) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) {
-      log_warn("channel %llu lost: %s",
-               static_cast<unsigned long long>(id), error.c_str());
-      for (const MFlowPlan& plan : state.flows) {
-        release_plan_resources(plan);
-      }
-      channels_.erase(id);
-      ++outcome.lost;
-      continue;
-    }
-
-    for (const MFlowPlan& plan : state.flows) {
-      install_flow(id, plan, /*immediate=*/false, state.touched_switches);
-    }
-    std::sort(state.touched_switches.begin(), state.touched_switches.end());
-    state.touched_switches.erase(
-        std::unique(state.touched_switches.begin(),
-                    state.touched_switches.end()),
-        state.touched_switches.end());
-    ++outcome.repaired;
+void MimicController::restore_link(topo::LinkId link) {
+  if (failed_links_.erase(link) == 0) return;
+  path_engine().link_restored(link);
+  // The failure detours must not outlive the failure: re-optimize the
+  // common-flow routing against the shrunken failure set, or every future
+  // CF keeps paying the detour forever.
+  if (default_routing_installed_) {
+    ctrl::L3RoutingApp::reroute_around(
+        *this, [this](topo::NodeId host) { return cf_label_for(host); },
+        failed_links_);
   }
-  return outcome;
+}
+
+MimicController::RepairOutcome MimicController::fail_switch(topo::NodeId sw) {
+  if (!failed_switches_.insert(sw).second) return {};
+  // Every incident link goes down with the switch.
+  for (const auto& adj : graph().neighbors(sw)) {
+    if (failed_links_.insert(adj.link).second) {
+      path_engine().link_failed(adj.link);
+    }
+  }
+  // The crash loses all soft state; purging mirrors what the re-connected
+  // switch would report (an empty table), and keeps the orphan-rule audit
+  // honest about rules that no longer exist anywhere.
+  switch_at(sw)->table().clear();
+
+  if (default_routing_installed_) {
+    ctrl::L3RoutingApp::reroute_around(
+        *this, [this](topo::NodeId host) { return cf_label_for(host); },
+        failed_links_);
+  }
+
+  // Re-plan every channel that traversed the dead switch (as relay or MN;
+  // incident-link checks would miss none, but the node check is direct) or
+  // parked a decoy drop rule on it.
+  std::vector<ChannelId> affected;
+  for (const auto& [id, state] : channels_) {
+    bool uses = false;
+    for (const MFlowPlan& plan : state.flows) {
+      for (const topo::NodeId node : plan.path) {
+        if (node == sw) {
+          uses = true;
+          break;
+        }
+      }
+      if (!uses) {
+        for (const DecoyPlan& decoy : plan.decoys) {
+          if (decoy.next_switch == sw) {
+            uses = true;
+            break;
+          }
+        }
+      }
+      if (uses) break;
+    }
+    if (uses) affected.push_back(id);
+  }
+  std::sort(affected.begin(), affected.end());
+  // MN re-selection avoiding the node falls out of replan_flow: every path
+  // through `sw` crosses a failed incident link, so sampling excludes it.
+  return repair_channels(affected, "switch failure");
+}
+
+void MimicController::restore_switch(topo::NodeId sw) {
+  if (failed_switches_.erase(sw) == 0) return;
+  for (const auto& adj : graph().neighbors(sw)) {
+    // A link is only usable when both of its endpoints are alive.
+    if (failed_switches_.contains(adj.peer)) continue;
+    if (failed_links_.erase(adj.link) != 0) {
+      path_engine().link_restored(adj.link);
+    }
+  }
+  // The rebooted switch comes back with an empty table; the reroute
+  // re-installs the default routing everywhere, which both repopulates it
+  // and drops the detours the failure forced elsewhere.
+  if (default_routing_installed_) {
+    ctrl::L3RoutingApp::reroute_around(
+        *this, [this](topo::NodeId host) { return cf_label_for(host); },
+        failed_links_);
+  }
 }
 
 void MimicController::mark_idle(ChannelId id, bool idle) {
@@ -738,13 +1066,31 @@ std::size_t MimicController::reclaim_idle(sim::SimTime max_idle) {
       stale.push_back(id);
     }
   }
-  for (const ChannelId id : stale) teardown(id, /*immediate=*/false);
+  std::sort(stale.begin(), stale.end());
+  for (const ChannelId id : stale) {
+    // Notify before teardown: the endpoint learns its idle channel is gone
+    // rather than discovering a black hole on the next send.
+    ++channels_lost_;
+    notify_channel_event(id, ChannelEvent::kLost, "idle channel reclaimed");
+    teardown(id, /*immediate=*/false);
+  }
   return stale.size();
 }
 
 const ChannelState* MimicController::channel(ChannelId id) const {
   const auto it = channels_.find(id);
   return it == channels_.end() ? nullptr : &it->second;
+}
+
+std::vector<ChannelId> MimicController::channel_ids() const {
+  std::vector<ChannelId> ids;
+  ids.reserve(channels_.size());
+  for (const auto& [id, state] : channels_) {
+    (void)state;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 }  // namespace mic::core

@@ -9,6 +9,8 @@
 
 #include <functional>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "core/address_restrictions.hpp"
 #include "core/channel.hpp"
@@ -24,6 +26,16 @@ struct MicConfig {
   sim::SimTime control_latency = sim::microseconds(150);
   /// Default privacy level ("the path length is set to default 3").
   int default_mn_count = 3;
+
+  // --- rule-install robustness ----------------------------------------------
+  /// Establishment and repair install rules transactionally: a rejected or
+  /// lost flow-mod rolls the partial install back and the whole rule set is
+  /// retried, up to this many attempts, before the channel is abandoned.
+  int install_retry_limit = 5;
+  /// Capped exponential backoff between install attempts (plus seeded
+  /// jitter): attempt k waits base * 2^(k-1), clamped to the cap.
+  sim::SimTime install_backoff_base = sim::microseconds(500);
+  sim::SimTime install_backoff_cap = sim::milliseconds(8);
 
   // --- distributed-controller deployment (paper Sec VI-C) --------------------
   /// Distinguishes this controller instance: channel IDs, rule cookies and
@@ -65,9 +77,10 @@ class MimicController : public ctrl::Controller {
   // --- channel establishment ------------------------------------------------
 
   /// Synchronous planning + immediate rule install.  Used by benchmarks
-  /// and by handle_encrypted_request (which adds the control-plane timing).
-  EstablishResult establish(const EstablishRequest& request,
-                            bool immediate_install = true);
+  /// and tests.  Installation is all-or-nothing: if any switch rejects a
+  /// rule, everything already installed is rolled back and the result
+  /// carries the error.
+  EstablishResult establish(const EstablishRequest& request);
 
   /// The full control-plane path: the encrypted request is decrypted and
   /// parsed (both charged to the MC CPU), the routing computed, rules
@@ -82,29 +95,68 @@ class MimicController : public ctrl::Controller {
 
   // --- failure handling (extension; the SDN controller's natural job) --------
 
+  /// Wire the detection pipeline: every switch's async PortDown/PortUp
+  /// notifications (raised by the fabric on loss of signal, after the
+  /// switch-side detection latency) drive fail_link / restore_link without
+  /// anyone feeding the MC by hand.  Idempotent.
+  void enable_failure_detection();
+
+  /// Port-status handler behind enable_failure_detection().  Duplicate
+  /// reports (both ends of a switch-switch link report the same failure)
+  /// and reports for links the MC already knows about are ignored.
+  void on_port_status(topo::NodeId sw, topo::PortId port, bool up) override;
+
   /// Report a failed link.  Every mimic channel whose path crosses it is
   /// re-routed around the failure: paths and m-addresses of the affected
   /// m-flows are re-planned while the endpoint addresses (entry address,
   /// presented address, initiator ports) stay fixed, so the transport
   /// connections survive the migration transparently.  Channels that
-  /// cannot be re-routed (e.g. a dead access link) are torn down.
-  /// Returns {repaired channels, lost channels}.
+  /// cannot be re-routed (e.g. a dead access link) are torn down and their
+  /// endpoints notified.  Returns {repaired channels, lost channels};
+  /// `repaired` counts successful re-plans whose rule installs are still
+  /// confirming asynchronously -- an install that ultimately fails after
+  /// retries demotes the channel to lost (with notification) later.
   struct RepairOutcome {
     std::size_t repaired = 0;
     std::size_t lost = 0;
   };
   RepairOutcome fail_link(topo::LinkId link);
 
-  /// Restore a previously failed link (new channels may use it again;
-  /// existing channels keep their repaired routes).
-  void restore_link(topo::LinkId link) {
-    failed_links_.erase(link);
-    path_engine().link_restored(link);
-  }
+  /// Restore a previously failed link: new channels may use it again,
+  /// existing channels keep their repaired routes, and the common-flow
+  /// routing is re-optimized (the failure detours do not persist).
+  void restore_link(topo::LinkId link);
+
+  /// Whole-switch failure: all incident links fail, the dead switch's
+  /// soft state (its entire flow table) is purged, and every channel it
+  /// carried is re-planned with MN re-selection avoiding the node.
+  RepairOutcome fail_switch(topo::NodeId sw);
+
+  /// Bring a switch back: incident links are restored and the default
+  /// routing is re-installed (the rebooted switch's table starts empty).
+  void restore_switch(topo::NodeId sw);
 
   const std::unordered_set<topo::LinkId>& failed_links() const noexcept {
     return failed_links_;
   }
+  const std::unordered_set<topo::NodeId>& failed_switches() const noexcept {
+    return failed_switches_;
+  }
+
+  // --- endpoint notification ------------------------------------------------
+
+  enum class ChannelEvent : std::uint8_t {
+    kRepaired,  // re-routed around a failure; entry addresses unchanged
+    kLost,      // unrepairable or reclaimed; the channel no longer exists
+  };
+  using ChannelListener =
+      std::function<void(ChannelEvent, const std::string& reason)>;
+
+  /// Register the endpoint-side listener for one channel (the client
+  /// library does this).  Events are delivered after the control-channel
+  /// latency.  One listener per channel; re-registering replaces.
+  void set_channel_listener(ChannelId id, ChannelListener listener);
+  void clear_channel_listener(ChannelId id);
 
   /// Channel reuse support (paper Sec IV-B1): clients mark finished
   /// channels idle instead of tearing them down; a periodic notification
@@ -121,7 +173,14 @@ class MimicController : public ctrl::Controller {
 
   const ChannelState* channel(ChannelId id) const;
   std::size_t active_channel_count() const noexcept { return channels_.size(); }
+  /// Live channel IDs, ascending (the orphan-rule audit's ground truth).
+  std::vector<ChannelId> channel_ids() const;
   std::uint64_t requests_handled() const noexcept { return requests_; }
+  std::uint64_t install_retries() const noexcept { return install_retries_; }
+  std::uint64_t channels_lost() const noexcept { return channels_lost_; }
+  std::uint64_t channels_repaired() const noexcept {
+    return channels_repaired_;
+  }
 
   MagaRegistry& registry() noexcept { return registry_; }
   const AddressRestrictions& restrictions() const noexcept {
@@ -155,16 +214,66 @@ class MimicController : public ctrl::Controller {
   /// Re-route one m-flow around failures, keeping endpoints and flow ID.
   bool replan_flow(const PlanContext& ctx, MFlowPlan& plan,
                    std::string& error);
-  void install_flow(ChannelId id, const MFlowPlan& plan, bool immediate,
-                    std::vector<topo::NodeId>& touched);
+
+  // --- transactional installs -----------------------------------------------
+  //
+  // Rule installation for a channel is staged: install_flow/install_direction
+  // emit the ops a plan needs, and a commit applies them all-or-nothing.  On
+  // any rejection the partial install is rolled back by cookie and retried
+  // (capped exponential backoff with seeded jitter), up to
+  // mic_config_.install_retry_limit attempts.
+  struct InstallOp {
+    topo::NodeId sw;
+    std::variant<switchd::FlowRule, switchd::GroupEntry> payload;
+  };
+  void install_flow(ChannelId id, const MFlowPlan& plan,
+                    std::vector<InstallOp>& ops);
   PlanContext context_of(const ChannelState& state) const;
   void install_direction(ChannelId id, const MFlowPlan& plan,
                          const topo::Path& path,
                          const std::vector<std::size_t>& mn_positions,
                          const std::vector<HopAddresses>& hops,
-                         const std::vector<DecoyPlan>& decoys, bool immediate,
-                         std::vector<topo::NodeId>& touched);
+                         const std::vector<DecoyPlan>& decoys,
+                         std::vector<InstallOp>& ops);
+  /// Nodes an op list touches (deduplicated) -- the rollback scope.
+  std::vector<topo::NodeId> touched_switches(
+      const std::vector<InstallOp>& ops) const;
+  /// Synchronous all-or-nothing commit (the benchmark/test path): applies
+  /// every op immediately; on any rejection removes `cookie` from every
+  /// touched switch and returns false.  No retries -- the caller sees the
+  /// failure synchronously.
+  bool commit_now(std::uint64_t cookie, const std::vector<InstallOp>& ops);
+  /// Asynchronous commit of channel `id`'s rules (cookie == id) over the
+  /// checked southbound path.  Retries with backoff on failure;
+  /// `on_done(true)` once every op is confirmed, `on_done(false)` after
+  /// the retry budget is exhausted (the partial install rolled back) or
+  /// when `txn` no longer matches the channel's install generation (torn
+  /// down or superseded by a repair -- the new owner manages the cookie,
+  /// so the stale commit touches nothing).
+  void commit_async(ChannelId id, std::uint64_t txn,
+                    std::vector<InstallOp> ops,
+                    std::function<void(bool)> on_done, int attempt = 1);
+  /// Request validation + planning + channel registration shared by the
+  /// sync and async establishment paths.  On success the channel is live
+  /// in channels_ (install_txn == 1) and `ops` holds its uncommitted rules.
+  EstablishResult plan_channel(const EstablishRequest& request,
+                               std::vector<InstallOp>& ops);
+  /// Backoff before retry `attempt` (1-based): base * 2^(attempt-1),
+  /// clamped to the cap, plus seeded jitter, plus one southbound latency so
+  /// the rollback flow-mods land before identical rules are re-sent.
+  sim::SimTime retry_delay(int attempt);
+
   void release_plan_resources(const MFlowPlan& plan);
+  /// Tear down a live channel as failed: remove its rules, release its
+  /// resources, erase it, and notify the endpoint kLost with `reason`.
+  void lose_channel(ChannelId id, const std::string& reason);
+  /// Deliver `event` to the channel's listener after the control latency.
+  void notify_channel_event(ChannelId id, ChannelEvent event,
+                            std::string reason);
+  /// Common re-plan driver for fail_link/fail_switch: re-routes every
+  /// channel in `affected`, committing new rules asynchronously.
+  RepairOutcome repair_channels(const std::vector<ChannelId>& affected,
+                                const std::string& cause);
 
   static std::uint64_t endpoint_key(net::Ipv4 a, net::L4Port pa, net::Ipv4 b,
                                     net::L4Port pb) {
@@ -191,8 +300,14 @@ class MimicController : public ctrl::Controller {
   /// presented addresses, so two channels can never share one.
   std::unordered_set<std::uint64_t> reserved_endpoints_;
   std::unordered_set<topo::LinkId> failed_links_;
+  std::unordered_set<topo::NodeId> failed_switches_;
+  std::unordered_map<ChannelId, ChannelListener> listeners_;
   bool default_routing_installed_ = false;
+  bool detection_enabled_ = false;
   std::uint64_t requests_ = 0;
+  std::uint64_t install_retries_ = 0;
+  std::uint64_t channels_lost_ = 0;
+  std::uint64_t channels_repaired_ = 0;
 };
 
 }  // namespace mic::core

@@ -62,6 +62,76 @@ void Controller::remove_cookie(topo::NodeId sw, std::uint64_t cookie,
   }
 }
 
+bool Controller::install_rule_now(topo::NodeId sw, switchd::FlowRule rule) {
+  ++rules_installed_;
+  return switch_at(sw)->try_install(std::move(rule));
+}
+
+bool Controller::install_group_now(topo::NodeId sw, switchd::GroupEntry group) {
+  return switch_at(sw)->try_install_group(std::move(group));
+}
+
+void Controller::install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
+                                      std::function<void(bool)> on_result) {
+  ++rules_installed_;
+  const bool request_dropped = control_drop_probability_ > 0.0 &&
+                               control_drop_rng_.chance(control_drop_probability_);
+  if (request_dropped) {
+    ++control_drops_;
+    network_.simulator().schedule_in(config_.southbound_timeout,
+                                     [cb = std::move(on_result)] { cb(false); });
+    return;
+  }
+  network_.simulator().schedule_in(
+      config_.southbound_latency,
+      [this, sw, r = std::move(rule), cb = std::move(on_result)]() mutable {
+        const bool ok = switch_at(sw)->try_install(std::move(r));
+        const bool reply_dropped =
+            control_drop_probability_ > 0.0 &&
+            control_drop_rng_.chance(control_drop_probability_);
+        if (reply_dropped) {
+          ++control_drops_;
+          // The rule may be installed but the controller never learns; the
+          // timeout reports failure and the caller's rollback-by-cookie
+          // keeps the table consistent.
+          network_.simulator().schedule_in(
+              remaining_timeout(), [cb = std::move(cb)] { cb(false); });
+          return;
+        }
+        network_.simulator().schedule_in(config_.southbound_latency,
+                                         [cb = std::move(cb), ok] { cb(ok); });
+      });
+}
+
+void Controller::install_group_checked(topo::NodeId sw,
+                                       switchd::GroupEntry group,
+                                       std::function<void(bool)> on_result) {
+  const bool request_dropped = control_drop_probability_ > 0.0 &&
+                               control_drop_rng_.chance(control_drop_probability_);
+  if (request_dropped) {
+    ++control_drops_;
+    network_.simulator().schedule_in(config_.southbound_timeout,
+                                     [cb = std::move(on_result)] { cb(false); });
+    return;
+  }
+  network_.simulator().schedule_in(
+      config_.southbound_latency,
+      [this, sw, g = std::move(group), cb = std::move(on_result)]() mutable {
+        const bool ok = switch_at(sw)->try_install_group(std::move(g));
+        const bool reply_dropped =
+            control_drop_probability_ > 0.0 &&
+            control_drop_rng_.chance(control_drop_probability_);
+        if (reply_dropped) {
+          ++control_drops_;
+          network_.simulator().schedule_in(
+              remaining_timeout(), [cb = std::move(cb)] { cb(false); });
+          return;
+        }
+        network_.simulator().schedule_in(config_.southbound_latency,
+                                         [cb = std::move(cb), ok] { cb(ok); });
+      });
+}
+
 void Controller::subscribe_packet_in() {
   for (const topo::NodeId sw : graph().switches()) {
     switch_at(sw)->set_packet_in_handler(
@@ -86,10 +156,27 @@ switchd::TableStats Controller::aggregate_table_stats() {
   return total;
 }
 
+void Controller::subscribe_port_status() {
+  for (const topo::NodeId sw : graph().switches()) {
+    switch_at(sw)->set_detection_latency(config_.detection_latency);
+    switch_at(sw)->set_port_status_handler(
+        [this](topo::NodeId node, topo::PortId port, bool up) {
+          network_.simulator().schedule_in(
+              config_.southbound_latency,
+              [this, node, port, up] { on_port_status(node, port, up); });
+        });
+  }
+}
+
 void Controller::on_packet_in(topo::NodeId sw, const net::Packet& packet,
                               topo::PortId in_port) {
   log_debug("packet-in from switch %u port %u (%s -> %s), dropped", sw,
             in_port, packet.src.str().c_str(), packet.dst.str().c_str());
+}
+
+void Controller::on_port_status(topo::NodeId sw, topo::PortId port, bool up) {
+  log_debug("port-status from switch %u port %u: %s", sw, port,
+            up ? "up" : "down");
 }
 
 }  // namespace mic::ctrl

@@ -47,6 +47,16 @@ struct ControllerConfig {
   /// not free.
   sim::SimTime southbound_latency = sim::microseconds(200);
 
+  /// How long a checked install waits for the switch's reply before
+  /// declaring the flow-mod lost (the barrier-reply timeout).  Must exceed
+  /// 2x southbound_latency or healthy installs would time out.
+  sim::SimTime southbound_timeout = sim::milliseconds(2);
+
+  /// PHY loss-of-signal debounce configured on every switch by
+  /// subscribe_port_status(): how long a port must stay down before the
+  /// switch raises the async notification.
+  sim::SimTime detection_latency = sim::microseconds(500);
+
   /// Opt-in parallel warm-up of the path engine: when > 0, the controller
   /// precomputes one BFS row per host destination at construction, fanned
   /// across this many threads.  0 (the default) stays fully lazy -- rows
@@ -83,8 +93,42 @@ class Controller {
   void remove_cookie(topo::NodeId sw, std::uint64_t cookie,
                      bool immediate = false);
 
+  // --- checked (fallible) installs ------------------------------------------
+  //
+  // The flow-mod travels the control channel, the switch may reject it
+  // (table full, injected fault), and the outcome travels back.  Either
+  // message can be dropped (set_control_drop_probability); a drop surfaces
+  // as failure after southbound_timeout.  `on_result(true)` means the rule
+  // is in the table; `on_result(false)` means it may or may not be -- the
+  // caller must roll back by cookie before retrying.
+  void install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
+                            std::function<void(bool)> on_result);
+  void install_group_checked(topo::NodeId sw, switchd::GroupEntry group,
+                             std::function<void(bool)> on_result);
+
+  /// Immediate checked installs (no latency, no drops): apply the change
+  /// now and report whether the switch accepted it.  The synchronous
+  /// transaction path in the MC builds on these.
+  bool install_rule_now(topo::NodeId sw, switchd::FlowRule rule);
+  bool install_group_now(topo::NodeId sw, switchd::GroupEntry group);
+
+  /// Drop this fraction of checked-install control messages (request and
+  /// reply legs independently).  Chaos-harness knob; 0 disables.
+  void set_control_drop_probability(double p) noexcept {
+    control_drop_probability_ = p;
+  }
+  std::uint64_t control_messages_dropped() const noexcept {
+    return control_drops_;
+  }
+
   /// Route packet-ins from every switch to on_packet_in().
   void subscribe_packet_in();
+
+  /// Route async port-status notifications from every switch to
+  /// on_port_status(), after the switch-side detection latency (configured
+  /// here from config().detection_latency) plus the control-channel
+  /// latency.  This is what replaces hand-fed failure reports.
+  void subscribe_port_status();
 
   /// Sum of every switch's lookup-tier counters: the controller's view of
   /// how much data-plane traffic the exact-match index absorbs vs how much
@@ -96,14 +140,29 @@ class Controller {
   virtual void on_packet_in(topo::NodeId sw, const net::Packet& packet,
                             topo::PortId in_port);
 
+  /// Called (after detection + southbound latency) when a switch reports a
+  /// port going down or coming back up.  Default ignores it.
+  virtual void on_port_status(topo::NodeId sw, topo::PortId port, bool up);
+
   std::uint64_t rules_installed() const noexcept { return rules_installed_; }
 
  private:
+  /// Barrier timeout remaining after the request leg already spent one
+  /// southbound latency.
+  sim::SimTime remaining_timeout() const noexcept {
+    return config_.southbound_timeout > config_.southbound_latency
+               ? config_.southbound_timeout - config_.southbound_latency
+               : sim::SimTime{0};
+  }
+
   net::Network& network_;
   HostAddressing addressing_;
   ControllerConfig config_;
   topo::PathEngine paths_;
   std::uint64_t rules_installed_ = 0;
+  double control_drop_probability_ = 0.0;
+  std::uint64_t control_drops_ = 0;
+  Rng control_drop_rng_{0xC0117801DD};
 };
 
 }  // namespace mic::ctrl

@@ -38,8 +38,19 @@ void Network::configure_link(topo::LinkId link, LinkConfig config) {
 
 void Network::set_link_up(topo::LinkId link, bool up) {
   MIC_ASSERT(2 * link + 1 < directions_.size());
+  if (directions_[2 * link].up == up) return;  // no state change, no event
   directions_[2 * link].up = up;
   directions_[2 * link + 1].up = up;
+
+  // Loss of signal (or its return) is visible at both endpoints' PHYs.
+  // Each direction's to_port is the receiving endpoint's port, so the two
+  // slots between them cover both attachment points.
+  for (const std::size_t slot : {2 * link, 2 * link + 1}) {
+    const Direction& dir = directions_[slot];
+    if (Device* device = devices_[dir.to].get()) {
+      device->on_port_status(dir.to_port, up);
+    }
+  }
 }
 
 void Network::add_link_tap(topo::LinkId link, Tap tap) {

@@ -31,6 +31,14 @@ class Device {
   /// A packet has fully arrived on `in_port`.
   virtual void receive(const Packet& packet, topo::PortId in_port) = 0;
 
+  /// The link attached to `port` changed state (loss of signal / signal
+  /// restored).  The default ignores it; SDN switches forward it to the
+  /// controller as an async port-status notification.
+  virtual void on_port_status(topo::PortId port, bool up) {
+    (void)port;
+    (void)up;
+  }
+
   void attach(Network* network, topo::NodeId node) {
     network_ = network;
     node_ = node;
@@ -90,7 +98,9 @@ class Network {
   void configure_link(topo::LinkId link, LinkConfig config);
 
   /// Fail or restore a link (both directions).  Packets sent into a failed
-  /// link are silently lost, exactly like a yanked cable.
+  /// link are silently lost, exactly like a yanked cable.  Both endpoint
+  /// devices are told via `Device::on_port_status` (loss of signal is
+  /// observable at the PHY), which is what failure detection builds on.
   void set_link_up(topo::LinkId link, bool up);
   bool link_up(topo::LinkId link) const {
     return directions_[2 * link].up;

@@ -73,7 +73,15 @@ void FlowTable::rebuild_index() {
   }
 }
 
+void FlowTable::clear() {
+  rules_.clear();
+  groups_.clear();
+  index_.clear();
+  scan_rules_.clear();
+}
+
 bool FlowTable::add_rule(FlowRule rule) {
+  if (capacity_ != 0 && rules_.size() >= capacity_) return false;
   for (const auto& existing : rules_) {
     if (existing.priority == rule.priority && existing.match == rule.match) {
       return false;

@@ -67,16 +67,16 @@ struct Match {
 
 // --- actions ---------------------------------------------------------------
 
-struct SetSrc { net::Ipv4 ip; };
-struct SetDst { net::Ipv4 ip; };
-struct SetSport { net::L4Port port; };
-struct SetDport { net::L4Port port; };
-struct SetMpls { net::MplsLabel label; };  // push or rewrite
-struct PopMpls {};
-struct Output { topo::PortId port; };
-struct GroupAction { std::uint32_t group_id; };
-struct ToController {};
-struct DropAction {};
+struct SetSrc { net::Ipv4 ip; bool operator==(const SetSrc&) const = default; };
+struct SetDst { net::Ipv4 ip; bool operator==(const SetDst&) const = default; };
+struct SetSport { net::L4Port port; bool operator==(const SetSport&) const = default; };
+struct SetDport { net::L4Port port; bool operator==(const SetDport&) const = default; };
+struct SetMpls { net::MplsLabel label; bool operator==(const SetMpls&) const = default; };  // push or rewrite
+struct PopMpls { bool operator==(const PopMpls&) const = default; };
+struct Output { topo::PortId port; bool operator==(const Output&) const = default; };
+struct GroupAction { std::uint32_t group_id; bool operator==(const GroupAction&) const = default; };
+struct ToController { bool operator==(const ToController&) const = default; };
+struct DropAction { bool operator==(const DropAction&) const = default; };
 
 using Action = std::variant<SetSrc, SetDst, SetSport, SetDport, SetMpls,
                             PopMpls, Output, GroupAction, ToController,
@@ -144,8 +144,19 @@ class FlowTable {
   /// Insert a rule.  Duplicate (priority, match) pairs are rejected --
   /// this is the data-plane half of the collision avoidance story, and the
   /// collision audit in mic/collision_audit.hpp checks it globally.
-  /// Returns false (and installs nothing) on duplicates.
+  /// Returns false (and installs nothing) on duplicates or when the table
+  /// is at capacity (OFPFMFC_TABLE_FULL).
   bool add_rule(FlowRule rule);
+
+  /// Bound the rule count (hardware TCAMs are finite); 0 = unlimited.
+  void set_capacity(std::size_t max_rules) noexcept {
+    capacity_ = max_rules;
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop every rule and group (a switch crash loses all soft state).
+  /// Stats survive: they describe the device's history, not its table.
+  void clear();
 
   /// Remove all rules with the given cookie; returns how many were removed.
   std::size_t remove_by_cookie(std::uint64_t cookie);
@@ -176,6 +187,7 @@ class FlowTable {
   std::size_t indexed_rule_count() const noexcept { return index_.size(); }
 
   const std::vector<FlowRule>& rules() const noexcept { return rules_; }
+  const std::vector<GroupEntry>& groups() const noexcept { return groups_; }
 
  private:
   /// Concrete values of every indexable field: the hash-index key.  A
@@ -204,6 +216,7 @@ class FlowTable {
   // Sorted by descending priority; stable within equal priority
   // (first-installed wins, like OVS).
   std::vector<FlowRule> rules_;
+  std::size_t capacity_ = 0;  // 0 = unlimited
   std::vector<GroupEntry> groups_;
   // key -> position of the highest-precedence exact rule with that key.
   std::unordered_map<ExactKey, std::size_t, ExactKeyHash> index_;

@@ -26,6 +26,43 @@ void SdnSwitch::receive(const net::Packet& packet, topo::PortId in_port) {
   });
 }
 
+void SdnSwitch::on_port_status(topo::PortId port, bool up) {
+  if (!port_status_) return;
+  // The PHY event is debounced for detection_latency_ before the async
+  // notification leaves the switch; the subscriber adds the control-channel
+  // latency on top.
+  network_->simulator().schedule_in(
+      detection_latency_, [this, port, up] {
+        if (port_status_) port_status_(node_, port, up);
+      });
+}
+
+bool SdnSwitch::try_install(FlowRule rule) {
+  if (install_fault_probability_ > 0.0 &&
+      install_fault_rng_.chance(install_fault_probability_)) {
+    ++installs_rejected_;
+    return false;
+  }
+  if (!table_.add_rule(std::move(rule))) {
+    ++installs_rejected_;
+    return false;
+  }
+  return true;
+}
+
+bool SdnSwitch::try_install_group(GroupEntry group) {
+  if (install_fault_probability_ > 0.0 &&
+      install_fault_rng_.chance(install_fault_probability_)) {
+    ++installs_rejected_;
+    return false;
+  }
+  if (!table_.add_group(std::move(group))) {
+    ++installs_rejected_;
+    return false;
+  }
+  return true;
+}
+
 void SdnSwitch::apply_actions(const std::vector<Action>& actions,
                               net::Packet packet, topo::PortId in_port,
                               bool allow_group) {

@@ -19,6 +19,9 @@ class SdnSwitch : public net::Device {
  public:
   using PacketInHandler =
       std::function<void(topo::NodeId sw, const net::Packet&, topo::PortId)>;
+  /// Async OFPT_PORT_STATUS equivalent: (switch, port, up).
+  using PortStatusHandler =
+      std::function<void(topo::NodeId sw, topo::PortId, bool up)>;
 
   explicit SdnSwitch(const crypto::CostModel& costs =
                          crypto::default_cost_model())
@@ -31,7 +34,46 @@ class SdnSwitch : public net::Device {
     packet_in_ = std::move(handler);
   }
 
+  /// Subscribe to async port-status notifications.  The switch raises them
+  /// `detection_latency` after the PHY event (loss-of-signal debounce); the
+  /// control-channel latency on top is the subscriber's business.
+  void set_port_status_handler(PortStatusHandler handler) {
+    port_status_ = std::move(handler);
+  }
+  void set_detection_latency(sim::SimTime latency) noexcept {
+    detection_latency_ = latency;
+  }
+  sim::SimTime detection_latency() const noexcept {
+    return detection_latency_;
+  }
+
   void receive(const net::Packet& packet, topo::PortId in_port) override;
+  void on_port_status(topo::PortId port, bool up) override;
+
+  // --- fallible rule installation -------------------------------------------
+  //
+  // A real switch can reject a flow-mod (table full) or lose it entirely;
+  // the fault hook lets the chaos harness inject rejection bursts.  The
+  // controller's *checked* install path consults try_install; the legacy
+  // fire-and-forget path keeps the old add_rule semantics.
+
+  /// Reject a fraction of try_install calls while active (0 disables).
+  /// Seeded independently so fault schedules replay deterministically.
+  void inject_install_faults(double probability, std::uint64_t seed) {
+    install_fault_probability_ = probability;
+    install_fault_rng_.reseed(seed);
+  }
+  void clear_install_faults() noexcept { install_fault_probability_ = 0.0; }
+
+  /// Install honouring capacity, duplicates and injected faults.  Returns
+  /// false when the switch rejects (the flow-mod error the checked path
+  /// reports back to the controller).
+  bool try_install(FlowRule rule);
+  bool try_install_group(GroupEntry group);
+
+  std::uint64_t installs_rejected() const noexcept {
+    return installs_rejected_;
+  }
 
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -50,6 +92,12 @@ class SdnSwitch : public net::Device {
   const crypto::CostModel& costs_;
   FlowTable table_;
   PacketInHandler packet_in_;
+  PortStatusHandler port_status_;
+  /// PHY loss-of-signal debounce before the notification leaves the switch.
+  sim::SimTime detection_latency_ = sim::microseconds(500);
+  double install_fault_probability_ = 0.0;
+  Rng install_fault_rng_{0};
+  std::uint64_t installs_rejected_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
 };
