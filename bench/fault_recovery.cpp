@@ -10,7 +10,6 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/collision_audit.hpp"
 #include "core/fault_injector.hpp"
 
 namespace {
@@ -22,8 +21,8 @@ struct Rig {
   explicit Rig(FabricOptions options) : fabric(options) {
     server = std::make_unique<MicServer>(fabric.host(kServerHost), 7000,
                                          fabric.rng());
-    server->set_on_channel([this](core::MicServerChannel& channel) {
-      channel.set_on_data([this](const transport::ChunkView& view) {
+    server->set_on_channel([this](core::MicServerChannel& server_channel) {
+      server_channel.set_on_data([this](const transport::ChunkView& view) {
         received += view.length;
       });
     });

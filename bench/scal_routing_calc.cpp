@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -145,6 +146,23 @@ void BM_PathEngineWarmUp(benchmark::State& state) {
 }
 BENCHMARK(BM_PathEngineWarmUp)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+void BM_McConfigWarmUp(benchmark::State& state) {
+  // The production path to the same warm-up: ControllerConfig's
+  // path_warmup_threads (Arg), exercised through full Fabric construction
+  // rather than a bare engine -- this is what an operator actually tunes.
+  FabricOptions options;
+  options.k = 8;
+  options.controller.path_warmup_threads =
+      static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    Fabric fabric(options);
+    benchmark::DoNotOptimize(fabric.mc().paths().cached_rows());
+  }
+  state.counters["rows_precomputed"] = static_cast<double>(
+      Fabric(options).mc().paths().cached_rows());
+}
+BENCHMARK(BM_McConfigWarmUp)->Arg(0)->Arg(1)->Arg(4);
+
 topo::LinkId interior_link(const topo::FatTree& ft) {
   // An edge->aggregation link: on many shortest paths, so its failure
   // exercises real invalidation without disconnecting any host.
@@ -269,6 +287,40 @@ int run_sweep_json() {
     warm4.warm_up(hosts, 4);
     const double warmup_t4_ms = ms_since(t0);
 
+    // The same warm-up driven the production way: through
+    // ControllerConfig::path_warmup_threads on a full Fabric.  Lazy (0)
+    // anchors the construction baseline so the warm-up cost is the delta.
+    // Gated to k <= 8: a k=16 fabric has 320 switches, past MAGA's 255
+    // S_ID limit, so no full MC exists at that scale (only bare engines).
+    std::string mc_fields;
+    if (k <= 8) {
+      const auto fabric_construct_ms = [&](unsigned threads,
+                                           std::size_t* rows) {
+        FabricOptions options;
+        options.k = k;
+        options.controller.path_warmup_threads = threads;
+        const auto start = clock::now();
+        Fabric fabric(options);
+        const double ms = ms_since(start);
+        *rows = fabric.mc().paths().cached_rows();
+        return ms;
+      };
+      std::size_t rows_lazy = 0, rows_warm1 = 0, rows_warm4 = 0;
+      const double mc_lazy_ms = fabric_construct_ms(0, &rows_lazy);
+      const double mc_warm1_ms = fabric_construct_ms(1, &rows_warm1);
+      const double mc_warm4_ms = fabric_construct_ms(4, &rows_warm4);
+      MIC_ASSERT(rows_warm1 == rows_warm4);  // PE-1: thread count invisible
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "\"mc_construct_lazy_ms\":%.3f,"
+                    "\"mc_construct_warm1_ms\":%.3f,"
+                    "\"mc_construct_warm4_ms\":%.3f,"
+                    "\"mc_rows_lazy\":%zu,\"mc_rows_warm\":%zu,",
+                    mc_lazy_ms, mc_warm1_ms, mc_warm4_ms, rows_lazy,
+                    rows_warm4);
+      mc_fields = buf;
+    }
+
     // Failure reroute with a warm cache: epoch bump + requery of 32 active
     // flows' rows (demand-driven: at most 32 BFS runs) versus the seed's
     // full rebuild (one BFS per node plus the O(n^2) matrix).
@@ -312,7 +364,7 @@ int run_sweep_json() {
         "%s{\"k\":%d,\"nodes\":%zu,\"hosts\":%zu,"
         "\"eager_construct_ms\":%.3f,\"lazy_setup8_ms\":%.3f,"
         "\"construct_speedup\":%.1f,"
-        "\"warmup_ms_threads1\":%.3f,\"warmup_ms_threads4\":%.3f,"
+        "\"warmup_ms_threads1\":%.3f,\"warmup_ms_threads4\":%.3f,%s"
         "\"reroute_lazy_ms\":%.3f,\"reroute_eager_ms\":%.3f,"
         "\"reroute_speedup\":%.1f,"
         "\"reroute_rows_recomputed\":%llu,\"reroute_recompute_fraction\":%.3f,"
@@ -321,7 +373,7 @@ int run_sweep_json() {
         first ? "" : ",", k, ft.graph().size(), hosts.size(),
         eager_construct_ms, lazy_setup_ms,
         eager_construct_ms / lazy_setup_ms, warmup_t1_ms, warmup_t4_ms,
-        reroute_lazy_ms, reroute_eager_ms,
+        mc_fields.c_str(), reroute_lazy_ms, reroute_eager_ms,
         reroute_eager_ms / reroute_lazy_ms,
         static_cast<unsigned long long>(recomputed),
         static_cast<double>(recomputed) /

@@ -6,7 +6,7 @@
 // here reports the failure by hand: cutting the PHY is all it takes.
 #include <cstdio>
 
-#include "core/collision_audit.hpp"
+#include "core/audit_registry.hpp"
 #include "core/fabric.hpp"
 #include "core/mic_client.hpp"
 
@@ -97,12 +97,10 @@ int main() {
   std::printf("link %u repaired; MC failure set %s\n", victim,
               fabric.mc().failed_links().empty() ? "empty again" : "STALE");
 
-  const auto audit = core::audit_collisions(fabric.mc());
-  const auto orphans = core::audit_orphan_rules(fabric.mc());
-  std::printf("collision audit after repair: %s; orphan-rule audit: %s\n",
-              audit.ok ? "CLEAN" : "VIOLATIONS",
-              orphans.ok ? "CLEAN" : "VIOLATIONS");
-  return audit.ok && orphans.ok && received == kBytes &&
+  const auto report = mic::audit::run_all(fabric);
+  std::printf("invariant audit after repair: %s (%s)\n",
+              report.ok ? "CLEAN" : "VIOLATIONS", report.summary().c_str());
+  return report.ok && received == kBytes &&
                  fabric.mc().failed_links().empty() &&
                  channel.repair_count() == 1
              ? 0

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "common/log.hpp"
-#include "core/collision_audit.hpp"
+#include "core/audit_registry.hpp"
 #include "core/fabric.hpp"
 #include "core/mic_client.hpp"
 #include "net/trace.hpp"
@@ -340,9 +340,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   fabric.network().total_drops()));
   if (is_mic) {
-    const auto audit = core::audit_collisions(fabric.mc());
-    std::printf("collision audit: %s\n", audit.ok ? "CLEAN" : "VIOLATIONS");
-    if (!audit.ok) return 1;
+    const auto report = mic::audit::run_all(fabric);
+    std::printf("invariant audit: %s (%s)\n",
+                report.ok ? "CLEAN" : "VIOLATIONS",
+                report.summary().c_str());
+    if (!report.ok) return 1;
   }
   return 0;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/collision_audit.hpp"
+#include "core/audit_registry.hpp"
 #include "core/fabric.hpp"
 #include "core/mic_client.hpp"
 #include "transport/apps.hpp"
@@ -103,13 +103,15 @@ int main() {
               static_cast<unsigned long long>(stored),
               static_cast<double>(stored) / (1024.0 * 1024.0));
 
-  const auto audit = core::audit_collisions(fabric.mc());
-  std::printf("collision audit over the mixed rule set: %s "
-              "(%zu rules, %zu m-flow rules)\n",
-              audit.ok ? "CLEAN" : "VIOLATIONS", audit.rules_checked,
-              audit.mflow_rules);
+  const auto report = mic::audit::run_all(fabric);
+  std::printf("invariant audit over the mixed rule set: %s "
+              "(%zu rules, %llu m-flow rules)\n",
+              report.ok ? "CLEAN" : "VIOLATIONS",
+              report.check("CA-1").items_checked,
+              static_cast<unsigned long long>(
+                  report.check("FD-1").metric("mflow_rules")));
 
   std::printf("\nthe MDS location never appeared on any client's wire; "
               "bulk data paid zero anonymity overhead.\n");
-  return audit.ok && lookups == 4 ? 0 : 1;
+  return report.ok && lookups == 4 ? 0 : 1;
 }

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 verification, plain and sanitized.
+# Tier-1 verification across the sanitizer matrix.
 #
-#   scripts/check.sh          # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh          # plain, then ASan/UBSan, then TSan
 #   scripts/check.sh --fast   # plain only
 #
-# The sanitized pass builds into build-asan/ with MIC_SANITIZE=ON, which
-# wires -fsanitize=address,undefined into every target (see the top-level
-# CMakeLists.txt).
+# Tiers build into separate trees so they cache independently:
+#   build/       plain            (the tier-1 command from ROADMAP.md)
+#   build-asan/  MIC_SANITIZE=address   -> -fsanitize=address,undefined
+#   build-tsan/  MIC_SANITIZE=thread    -> -fsanitize=thread
+#
+# The TSan tier exports MIC_PATH_WARMUP_THREADS=4 so every controller in
+# the suite constructs its PathEngine through the multi-threaded warm-up
+# path (ControllerConfig::effective_warmup_threads honours the override),
+# putting the rows_mu_-guarded cache under real contention instead of only
+# in the handful of tests that opt in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +29,10 @@ run_suite build
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitized (address,undefined) =="
-  run_suite build-asan -DMIC_SANITIZE=ON
+  run_suite build-asan -DMIC_SANITIZE=address
+
+  echo "== sanitized (thread, warm-up threads >= 4) =="
+  MIC_PATH_WARMUP_THREADS=4 run_suite build-tsan -DMIC_SANITIZE=thread
 fi
 
 echo "OK"

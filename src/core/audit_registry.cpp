@@ -1,0 +1,143 @@
+#include "core/audit_registry.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/collision_audit.hpp"
+#include "core/mimic_controller.hpp"
+
+namespace mic::audit {
+
+namespace {
+
+CheckResult from_audit_report(const core::AuditReport& report) {
+  CheckResult result;
+  result.ok = report.ok;
+  result.items_checked = report.rules_checked;
+  result.violations = report.violations;
+  result.metrics.emplace_back("mflow_rules",
+                              static_cast<std::uint64_t>(report.mflow_rules));
+  return result;
+}
+
+CheckResult check_flow_tables(core::MimicController& mc) {
+  // FT-1: on every switch, the two-tier lookup agrees with the reference
+  // linear scan (structurally and for a probe per rule).
+  CheckResult result;
+  for (const topo::NodeId sw : mc.graph().switches()) {
+    std::vector<std::string> violations;
+    result.items_checked +=
+        mc.switch_at(sw)->table().self_check(violations);
+    for (auto& v : violations) {
+      result.violations.push_back("switch " + std::to_string(sw) + ": " +
+                                  std::move(v));
+    }
+  }
+  result.ok = result.violations.empty();
+  return result;
+}
+
+CheckResult check_path_rows(core::MimicController& mc) {
+  // PE-1: every cached path row equals a fresh recomputation against the
+  // current failure set.
+  CheckResult result;
+  std::vector<std::string> violations;
+  result.items_checked = mc.path_engine().self_check(violations);
+  result.violations = std::move(violations);
+  result.ok = result.violations.empty();
+  return result;
+}
+
+}  // namespace
+
+const CheckResult& RunReport::check(std::string_view id) const {
+  for (const auto& c : checks) {
+    if (c.id == id) return c;
+  }
+  MIC_ASSERT_MSG(false, "audit check id not registered");
+  __builtin_unreachable();
+}
+
+std::string RunReport::first_violation() const {
+  for (const auto& c : checks) {
+    if (!c.violations.empty()) return c.id + ": " + c.violations.front();
+  }
+  return {};
+}
+
+std::string RunReport::summary() const {
+  std::string out;
+  for (const auto& c : checks) {
+    if (!out.empty()) out += ", ";
+    out += c.id;
+    out += c.ok ? " ok (" : " FAILED (";
+    out += std::to_string(c.ok ? c.items_checked : c.violations.size());
+    out += c.ok ? " checked)" : " violations)";
+  }
+  return out;
+}
+
+Registry::Registry() {
+  add("FT-1", "flow-table lookup equivalence", check_flow_tables);
+  add("CA-1", "collision / MAGA label audit",
+      [](core::MimicController& mc) {
+        return from_audit_report(core::audit_collisions(mc));
+      });
+  add("PE-1", "path-row determinism", check_path_rows);
+  add("FD-1", "orphan-rule / live-channel audit",
+      [](core::MimicController& mc) {
+        return from_audit_report(core::audit_orphan_rules(mc));
+      });
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::string id, std::string name, CheckFn fn) {
+  for (const auto& e : checks_) {
+    MIC_ASSERT_MSG(e.id != id, "duplicate audit check id");
+  }
+  checks_.push_back(Entry{std::move(id), std::move(name), std::move(fn)});
+}
+
+RunReport Registry::run_all(core::MimicController& mc) const {
+  RunReport report;
+  report.checks.reserve(checks_.size());
+  for (const auto& e : checks_) {
+    CheckResult result = e.fn(mc);
+    result.id = e.id;
+    result.name = e.name;
+    report.ok = report.ok && result.ok;
+    report.checks.push_back(std::move(result));
+  }
+  return report;
+}
+
+CheckResult Registry::run(std::string_view id,
+                          core::MimicController& mc) const {
+  for (const auto& e : checks_) {
+    if (e.id == id) {
+      CheckResult result = e.fn(mc);
+      result.id = e.id;
+      result.name = e.name;
+      return result;
+    }
+  }
+  MIC_ASSERT_MSG(false, "audit check id not registered");
+  __builtin_unreachable();
+}
+
+std::vector<std::string> Registry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(checks_.size());
+  for (const auto& e : checks_) out.push_back(e.id);
+  return out;
+}
+
+RunReport run_all(core::MimicController& mc) {
+  return Registry::instance().run_all(mc);
+}
+
+}  // namespace mic::audit

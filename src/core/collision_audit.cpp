@@ -77,17 +77,21 @@ AuditReport audit_collisions(MimicController& mc) {
         net::MplsLabel new_label = net::kNoMpls;
         bool has_set_mpls = false, has_set_ips = false;
         for (const auto& action : actions) {
-          if (const auto* a = std::get_if<switchd::SetSrc>(&action)) {
-            new_src = a->ip;
+          if (const auto* set_src = std::get_if<switchd::SetSrc>(&action)) {
+            new_src = set_src->ip;
             has_set_ips = true;
-          } else if (const auto* a = std::get_if<switchd::SetDst>(&action)) {
-            new_dst = a->ip;
-          } else if (const auto* a = std::get_if<switchd::SetSport>(&action)) {
-            new_sport = a->port;
-          } else if (const auto* a = std::get_if<switchd::SetDport>(&action)) {
-            new_dport = a->port;
-          } else if (const auto* a = std::get_if<switchd::SetMpls>(&action)) {
-            new_label = a->label;
+          } else if (const auto* set_dst =
+                         std::get_if<switchd::SetDst>(&action)) {
+            new_dst = set_dst->ip;
+          } else if (const auto* set_sport =
+                         std::get_if<switchd::SetSport>(&action)) {
+            new_sport = set_sport->port;
+          } else if (const auto* set_dport =
+                         std::get_if<switchd::SetDport>(&action)) {
+            new_dport = set_dport->port;
+          } else if (const auto* set_mpls =
+                         std::get_if<switchd::SetMpls>(&action)) {
+            new_label = set_mpls->label;
             has_set_mpls = true;
           }
         }

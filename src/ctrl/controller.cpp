@@ -1,8 +1,23 @@
 #include "ctrl/controller.hpp"
 
+#include <cstdlib>
+
 #include "common/log.hpp"
 
 namespace mic::ctrl {
+
+unsigned ControllerConfig::effective_warmup_threads() const {
+  // The TSan tier (scripts/check.sh) exports MIC_PATH_WARMUP_THREADS to
+  // force every controller in the suite through the multi-threaded warm-up
+  // path; an explicit config still composes (the override only raises).
+  if (const char* env = std::getenv("MIC_PATH_WARMUP_THREADS")) {
+    const long forced = std::strtol(env, nullptr, 10);
+    if (forced > 0 && static_cast<unsigned>(forced) > path_warmup_threads) {
+      return static_cast<unsigned>(forced);
+    }
+  }
+  return path_warmup_threads;
+}
 
 Controller::Controller(net::Network& network, HostAddressing addressing,
                        ControllerConfig config)
@@ -10,9 +25,20 @@ Controller::Controller(net::Network& network, HostAddressing addressing,
       addressing_(std::move(addressing)),
       config_(config),
       paths_(network.graph()) {
-  if (config_.path_warmup_threads > 0) {
-    paths_.warm_up(network.graph().hosts(), config_.path_warmup_threads);
+  if (const unsigned threads = config_.effective_warmup_threads();
+      threads > 0) {
+    paths_.warm_up(network.graph().hosts(), threads);
   }
+}
+
+bool Controller::roll_control_drop() {
+  MutexLock lock(counters_mu_);
+  if (control_drop_probability_ <= 0.0 ||
+      !control_drop_rng_.chance(control_drop_probability_)) {
+    return false;
+  }
+  ++control_drops_;
+  return true;
 }
 
 switchd::SdnSwitch* Controller::switch_at(topo::NodeId node) {
@@ -23,7 +49,7 @@ switchd::SdnSwitch* Controller::switch_at(topo::NodeId node) {
 
 void Controller::install_rule(topo::NodeId sw, switchd::FlowRule rule,
                               bool immediate) {
-  ++rules_installed_;
+  count_rule_install();
   if (immediate) {
     const bool ok = switch_at(sw)->table().add_rule(std::move(rule));
     MIC_ASSERT_MSG(ok, "duplicate rule rejected by flow table");
@@ -63,7 +89,7 @@ void Controller::remove_cookie(topo::NodeId sw, std::uint64_t cookie,
 }
 
 bool Controller::install_rule_now(topo::NodeId sw, switchd::FlowRule rule) {
-  ++rules_installed_;
+  count_rule_install();
   return switch_at(sw)->try_install(std::move(rule));
 }
 
@@ -73,11 +99,8 @@ bool Controller::install_group_now(topo::NodeId sw, switchd::GroupEntry group) {
 
 void Controller::install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
                                       std::function<void(bool)> on_result) {
-  ++rules_installed_;
-  const bool request_dropped = control_drop_probability_ > 0.0 &&
-                               control_drop_rng_.chance(control_drop_probability_);
-  if (request_dropped) {
-    ++control_drops_;
+  count_rule_install();
+  if (roll_control_drop()) {
     network_.simulator().schedule_in(config_.southbound_timeout,
                                      [cb = std::move(on_result)] { cb(false); });
     return;
@@ -86,11 +109,7 @@ void Controller::install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
       config_.southbound_latency,
       [this, sw, r = std::move(rule), cb = std::move(on_result)]() mutable {
         const bool ok = switch_at(sw)->try_install(std::move(r));
-        const bool reply_dropped =
-            control_drop_probability_ > 0.0 &&
-            control_drop_rng_.chance(control_drop_probability_);
-        if (reply_dropped) {
-          ++control_drops_;
+        if (roll_control_drop()) {
           // The rule may be installed but the controller never learns; the
           // timeout reports failure and the caller's rollback-by-cookie
           // keeps the table consistent.
@@ -106,10 +125,7 @@ void Controller::install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
 void Controller::install_group_checked(topo::NodeId sw,
                                        switchd::GroupEntry group,
                                        std::function<void(bool)> on_result) {
-  const bool request_dropped = control_drop_probability_ > 0.0 &&
-                               control_drop_rng_.chance(control_drop_probability_);
-  if (request_dropped) {
-    ++control_drops_;
+  if (roll_control_drop()) {
     network_.simulator().schedule_in(config_.southbound_timeout,
                                      [cb = std::move(on_result)] { cb(false); });
     return;
@@ -118,11 +134,7 @@ void Controller::install_group_checked(topo::NodeId sw,
       config_.southbound_latency,
       [this, sw, g = std::move(group), cb = std::move(on_result)]() mutable {
         const bool ok = switch_at(sw)->try_install_group(std::move(g));
-        const bool reply_dropped =
-            control_drop_probability_ > 0.0 &&
-            control_drop_rng_.chance(control_drop_probability_);
-        if (reply_dropped) {
-          ++control_drops_;
+        if (roll_control_drop()) {
           network_.simulator().schedule_in(
               remaining_timeout(), [cb = std::move(cb)] { cb(false); });
           return;

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/network.hpp"
 #include "switchd/sdn_switch.hpp"
 #include "topology/path_engine.hpp"
@@ -63,6 +65,12 @@ struct ControllerConfig {
   /// are computed on first use.  Warm-up runs before the single-threaded
   /// event loop starts and is deterministic for any thread count (PE-1).
   unsigned path_warmup_threads = 0;
+
+  /// path_warmup_threads after applying the MIC_PATH_WARMUP_THREADS
+  /// environment override (scripts/check.sh exports it in the TSan tier so
+  /// the *entire* test suite constructs every controller through the
+  /// multi-threaded warm-up path; bench configs set the field directly).
+  unsigned effective_warmup_threads() const;
 };
 
 class Controller {
@@ -114,10 +122,12 @@ class Controller {
 
   /// Drop this fraction of checked-install control messages (request and
   /// reply legs independently).  Chaos-harness knob; 0 disables.
-  void set_control_drop_probability(double p) noexcept {
+  void set_control_drop_probability(double p) MIC_EXCLUDES(counters_mu_) {
+    MutexLock lock(counters_mu_);
     control_drop_probability_ = p;
   }
-  std::uint64_t control_messages_dropped() const noexcept {
+  std::uint64_t control_messages_dropped() const MIC_EXCLUDES(counters_mu_) {
+    MutexLock lock(counters_mu_);
     return control_drops_;
   }
 
@@ -144,7 +154,10 @@ class Controller {
   /// port going down or coming back up.  Default ignores it.
   virtual void on_port_status(topo::NodeId sw, topo::PortId port, bool up);
 
-  std::uint64_t rules_installed() const noexcept { return rules_installed_; }
+  std::uint64_t rules_installed() const MIC_EXCLUDES(counters_mu_) {
+    MutexLock lock(counters_mu_);
+    return rules_installed_;
+  }
 
  private:
   /// Barrier timeout remaining after the request leg already spent one
@@ -155,14 +168,30 @@ class Controller {
                : sim::SimTime{0};
   }
 
+  void count_rule_install() MIC_EXCLUDES(counters_mu_) {
+    MutexLock lock(counters_mu_);
+    ++rules_installed_;
+  }
+
+  /// One chaos-knob dice roll for a checked-install control message;
+  /// counts the drop when it happens.  The RNG lives under the counters
+  /// lock so concurrent checked installs cannot corrupt its stream.
+  bool roll_control_drop() MIC_EXCLUDES(counters_mu_);
+
   net::Network& network_;
   HostAddressing addressing_;
   ControllerConfig config_;
   topo::PathEngine paths_;
-  std::uint64_t rules_installed_ = 0;
-  double control_drop_probability_ = 0.0;
-  std::uint64_t control_drops_ = 0;
-  Rng control_drop_rng_{0xC0117801DD};
+
+  // Install accounting and the chaos drop knob.  Installs are issued from
+  // the single-threaded event loop today, but introspection (benchmarks,
+  // the audit registry) may read the counters from other threads, so the
+  // whole block is guarded; the lock is uncontended on the hot path.
+  mutable Mutex counters_mu_;
+  std::uint64_t rules_installed_ MIC_GUARDED_BY(counters_mu_) = 0;
+  double control_drop_probability_ MIC_GUARDED_BY(counters_mu_) = 0.0;
+  std::uint64_t control_drops_ MIC_GUARDED_BY(counters_mu_) = 0;
+  Rng control_drop_rng_ MIC_GUARDED_BY(counters_mu_){0xC0117801DD};
 };
 
 }  // namespace mic::ctrl

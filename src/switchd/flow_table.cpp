@@ -1,6 +1,7 @@
 #include "switchd/flow_table.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/rng.hpp"
 
@@ -106,9 +107,8 @@ std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
   return before - rules_.size();
 }
 
-FlowRule* FlowTable::lookup(const net::Packet& packet, topo::PortId in_port,
-                            std::uint32_t wire_bytes) {
-  ++stats_.lookups;
+FlowTable::TierHit FlowTable::two_tier_find(
+    const net::Packet& packet, topo::PortId in_port) const noexcept {
   // Tier 1: the exact-match index.  A hit pins the best fully-specified
   // candidate; key equality guarantees the rule matches the packet.
   std::size_t best = rules_.size();
@@ -131,12 +131,19 @@ FlowRule* FlowTable::lookup(const net::Packet& packet, topo::PortId in_port,
       break;
     }
   }
-  if (best == rules_.size()) {
+  return {best, from_index};
+}
+
+FlowRule* FlowTable::lookup(const net::Packet& packet, topo::PortId in_port,
+                            std::uint32_t wire_bytes) {
+  ++stats_.lookups;
+  const TierHit hit = two_tier_find(packet, in_port);
+  if (hit.pos == rules_.size()) {
     ++stats_.misses;
     return nullptr;
   }
-  from_index ? ++stats_.index_hits : ++stats_.scan_fallbacks;
-  FlowRule& rule = rules_[best];
+  hit.from_index ? ++stats_.index_hits : ++stats_.scan_fallbacks;
+  FlowRule& rule = rules_[hit.pos];
   MIC_ASSERT(rule.match.matches(packet, in_port));
   ++rule.packet_count;
   rule.byte_count += wire_bytes;
@@ -149,6 +156,80 @@ const FlowRule* FlowTable::reference_lookup(
     if (rule.match.matches(packet, in_port)) return &rule;
   }
   return nullptr;
+}
+
+std::size_t FlowTable::self_check(std::vector<std::string>& violations) const {
+  const auto complain = [&violations](std::size_t pos, const char* what) {
+    violations.push_back("rule #" + std::to_string(pos) + ": " + what);
+  };
+
+  // Structural: the two tiers partition the rule list, and each index
+  // entry points at the first (highest-precedence) exact rule of its key.
+  std::vector<bool> on_scan_tier(rules_.size(), false);
+  std::size_t prev_scan = 0;
+  for (std::size_t i = 0; i < scan_rules_.size(); ++i) {
+    const std::size_t pos = scan_rules_[i];
+    if (pos >= rules_.size()) {
+      complain(pos, "scan tier points past the rule list");
+      return 0;  // positions untrustworthy; probing would read garbage
+    }
+    if (i > 0 && pos <= prev_scan) {
+      complain(pos, "scan tier out of precedence order");
+    }
+    prev_scan = pos;
+    on_scan_tier[pos] = true;
+    if (rules_[pos].match.is_exact()) {
+      complain(pos, "fully-specified rule left on the scan tier");
+    }
+  }
+  for (const auto& [key, pos] : index_) {
+    if (pos >= rules_.size()) {
+      complain(pos, "index entry points past the rule list");
+      return 0;
+    }
+    const Match& m = rules_[pos].match;
+    if (!m.is_exact()) {
+      complain(pos, "index entry points at a wildcard rule");
+      continue;
+    }
+    const ExactKey expect{*m.in_port, *m.src,  *m.dst,
+                          *m.sport,   *m.dport, m.mpls.value_or(net::kNoMpls)};
+    if (!(expect == key)) {
+      complain(pos, "index entry filed under a foreign key");
+    }
+  }
+  for (std::size_t pos = 0; pos < rules_.size(); ++pos) {
+    const bool exact = rules_[pos].match.is_exact();
+    if (!exact && !on_scan_tier[pos]) {
+      complain(pos, "wildcard rule reachable from neither tier");
+    }
+  }
+
+  // Behavioural: for a probe synthesized from each rule, the two-tier
+  // winner must be the reference scan's winner.  Wildcard fields take
+  // fixed off-path values so the probe exercises this rule's shape rather
+  // than colliding with a random exact rule.
+  std::size_t probes = 0;
+  for (std::size_t pos = 0; pos < rules_.size(); ++pos) {
+    const Match& m = rules_[pos].match;
+    net::Packet probe;
+    probe.src = m.src.value_or(net::Ipv4(203, 0, 113, 1));
+    probe.dst = m.dst.value_or(net::Ipv4(203, 0, 113, 2));
+    probe.sport = m.sport.value_or(64999);
+    probe.dport = m.dport.value_or(64998);
+    probe.mpls = m.require_no_mpls ? net::kNoMpls
+                                   : m.mpls.value_or(net::kNoMpls);
+    const topo::PortId in_port = m.in_port.value_or(0);
+    const FlowRule* expected = reference_lookup(probe, in_port);
+    const TierHit hit = two_tier_find(probe, in_port);
+    const FlowRule* actual = hit.pos == rules_.size() ? nullptr
+                                                      : &rules_[hit.pos];
+    ++probes;
+    if (expected != actual) {
+      complain(pos, "two-tier winner differs from the reference scan");
+    }
+  }
+  return probes;
 }
 
 bool FlowTable::add_group(GroupEntry group) {

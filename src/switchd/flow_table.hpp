@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -174,6 +175,15 @@ class FlowTable {
   const FlowRule* reference_lookup(const net::Packet& packet,
                                    topo::PortId in_port) const noexcept;
 
+  /// Runtime audit of FT-1 (registered as "FT-1" in audit::Registry).
+  /// Structural half: every rule is covered by exactly one tier and every
+  /// index entry points at the highest-precedence exact rule for its key.
+  /// Behavioural half: for a probe packet synthesized from each rule's
+  /// match (wildcards filled with fixed off-path values), the counter-free
+  /// two-tier winner equals reference_lookup()'s.  Appends one message per
+  /// violation to `violations`; returns the number of probes checked.
+  std::size_t self_check(std::vector<std::string>& violations) const;
+
   bool add_group(GroupEntry group);
   std::size_t remove_groups_by_cookie(std::uint64_t cookie);
   const GroupEntry* group(std::uint32_t group_id) const noexcept;
@@ -208,6 +218,16 @@ class FlowTable {
 
   static ExactKey key_of(const net::Packet& packet,
                          topo::PortId in_port) noexcept;
+
+  /// The two-tier winner's position in rules_ (rules_.size() on miss) and
+  /// which tier resolved it.  Pure -- no counters -- so lookup() and the
+  /// FT-1 self_check() share one implementation.
+  struct TierHit {
+    std::size_t pos;
+    bool from_index;
+  };
+  TierHit two_tier_find(const net::Packet& packet,
+                        topo::PortId in_port) const noexcept;
 
   /// Recompute the index and the wildcard scan list after any mutation.
   /// Positions are into rules_, so both survive vector reallocation.

@@ -73,16 +73,16 @@ void SdnSwitch::apply_actions(const std::vector<Action>& actions,
   }
 
   for (const auto& action : actions) {
-    if (const auto* set = std::get_if<SetSrc>(&action)) {
-      packet.src = set->ip;
-    } else if (const auto* set = std::get_if<SetDst>(&action)) {
-      packet.dst = set->ip;
-    } else if (const auto* set = std::get_if<SetSport>(&action)) {
-      packet.sport = set->port;
-    } else if (const auto* set = std::get_if<SetDport>(&action)) {
-      packet.dport = set->port;
-    } else if (const auto* set = std::get_if<SetMpls>(&action)) {
-      packet.mpls = set->label;
+    if (const auto* set_src = std::get_if<SetSrc>(&action)) {
+      packet.src = set_src->ip;
+    } else if (const auto* set_dst = std::get_if<SetDst>(&action)) {
+      packet.dst = set_dst->ip;
+    } else if (const auto* set_sport = std::get_if<SetSport>(&action)) {
+      packet.sport = set_sport->port;
+    } else if (const auto* set_dport = std::get_if<SetDport>(&action)) {
+      packet.dport = set_dport->port;
+    } else if (const auto* set_mpls = std::get_if<SetMpls>(&action)) {
+      packet.mpls = set_mpls->label;
     } else if (std::get_if<PopMpls>(&action)) {
       packet.mpls = net::kNoMpls;
     } else if (const auto* out = std::get_if<Output>(&action)) {

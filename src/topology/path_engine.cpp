@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 #include <thread>
 
 namespace mic::topo {
@@ -11,7 +12,7 @@ PathEngine::PathEngine(const Graph& graph)
 
 PathEngine::Row PathEngine::compute_row(NodeId dst) const {
   Row row;
-  row.epoch = epoch_;
+  row.epoch = epoch_.load(std::memory_order_relaxed);
   row.dist.assign(n_, kUnreachable);
 
   // Reverse BFS from the destination.  Hosts are leaves: they may start or
@@ -56,13 +57,25 @@ PathEngine::Row PathEngine::compute_row(NodeId dst) const {
 
 const PathEngine::Row& PathEngine::row(NodeId dst) const {
   MIC_ASSERT(dst < n_);
-  const auto it = rows_.find(dst);
-  if (it != rows_.end()) {
-    ++stats_.row_hits;
-    return it->second;
+  {
+    MutexLock lock(rows_mu_);
+    const auto it = rows_.find(dst);
+    if (it != rows_.end()) {
+      ++stats_.row_hits;
+      return it->second;
+    }
   }
-  ++stats_.rows_computed;
-  return rows_.emplace(dst, compute_row(dst)).first->second;
+  // Miss: BFS outside the lock so concurrent queries for other rows make
+  // progress.  Two threads missing the same destination both compute it;
+  // PE-1 makes the results identical, so first-emplace-wins is safe and
+  // the loser's work is merely wasted.  References into the map stay
+  // stable under insertion, so handing them out unlocked is sound (only
+  // the event-loop-exclusive invalidation ever erases).
+  Row fresh = compute_row(dst);
+  MutexLock lock(rows_mu_);
+  const auto [it, inserted] = rows_.emplace(dst, std::move(fresh));
+  inserted ? ++stats_.rows_computed : ++stats_.row_hits;
+  return it->second;
 }
 
 Path PathEngine::sample_shortest_path(NodeId src, NodeId dst,
@@ -156,12 +169,13 @@ std::optional<Path> PathEngine::sample_long_path(NodeId src, NodeId dst,
 
 void PathEngine::invalidate_rows_touching(LinkId link) {
   const auto [a, b] = graph_.link_endpoints(link);
+  const std::uint32_t epoch = epoch_.load(std::memory_order_relaxed);
   for (auto it = rows_.begin(); it != rows_.end();) {
     if (row_uses_link(it->second, it->first, a, b)) {
       ++stats_.rows_invalidated;
       it = rows_.erase(it);
     } else {
-      it->second.epoch = epoch_;
+      it->second.epoch = epoch;
       ++stats_.rows_retained;
       ++it;
     }
@@ -170,13 +184,15 @@ void PathEngine::invalidate_rows_touching(LinkId link) {
 
 void PathEngine::link_failed(LinkId link) {
   if (!failed_.insert(link).second) return;  // already down
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(rows_mu_);
   invalidate_rows_touching(link);
 }
 
 void PathEngine::link_restored(LinkId link) {
   if (failed_.erase(link) == 0) return;  // was not down
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(rows_mu_);
   invalidate_rows_touching(link);
 }
 
@@ -191,9 +207,12 @@ void PathEngine::set_failed_links(const std::unordered_set<LinkId>& failed) {
 
 void PathEngine::warm_up(const std::vector<NodeId>& dsts, unsigned threads) {
   std::vector<NodeId> missing;
-  for (const NodeId dst : dsts) {
-    MIC_ASSERT(dst < n_);
-    if (!rows_.contains(dst)) missing.push_back(dst);
+  {
+    MutexLock lock(rows_mu_);
+    for (const NodeId dst : dsts) {
+      MIC_ASSERT(dst < n_);
+      if (!rows_.contains(dst)) missing.push_back(dst);
+    }
   }
   std::sort(missing.begin(), missing.end());
   missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
@@ -209,7 +228,8 @@ void PathEngine::warm_up(const std::vector<NodeId>& dsts, unsigned threads) {
   } else {
     // Strided partition: worker w owns slots w, w + workers, ...  Each
     // slot is written by exactly one worker; the shared engine state is
-    // only read.  Results are merged after the join, so cache contents are
+    // only read (compute_row touches nothing guarded).  Results are
+    // merged under the lock after the join, so cache contents are
     // identical for any worker count (PE-1).
     std::vector<std::thread> pool;
     pool.reserve(workers);
@@ -222,10 +242,41 @@ void PathEngine::warm_up(const std::vector<NodeId>& dsts, unsigned threads) {
     }
     for (auto& t : pool) t.join();
   }
+  MutexLock lock(rows_mu_);
+  std::uint64_t merged = 0;
   for (std::size_t i = 0; i < missing.size(); ++i) {
-    rows_.emplace(missing[i], std::move(computed[i]));
+    // A concurrent query may have raced a row in; emplace keeps the
+    // incumbent (identical by PE-1) and we only count rows we inserted.
+    if (rows_.emplace(missing[i], std::move(computed[i])).second) ++merged;
   }
-  stats_.rows_computed += missing.size();
+  stats_.rows_computed += merged;
+}
+
+std::size_t PathEngine::self_check(std::vector<std::string>& violations) const {
+  MutexLock lock(rows_mu_);
+  for (const auto& [dst, cached] : rows_) {
+    const Row fresh = compute_row(dst);
+    if (cached.dist == fresh.dist && cached.offsets == fresh.offsets &&
+        cached.nexts == fresh.nexts) {
+      continue;
+    }
+    std::ostringstream out;
+    out << "row " << dst << ": cached contents differ from a fresh BFS"
+        << " (epoch " << cached.epoch << ", engine epoch "
+        << epoch_.load(std::memory_order_relaxed) << ")";
+    violations.push_back(out.str());
+  }
+  return rows_.size();
+}
+
+bool PathEngine::debug_corrupt_cached_row(NodeId dst) {
+  MutexLock lock(rows_mu_);
+  const auto it = rows_.find(dst);
+  if (it == rows_.end()) return false;
+  // Flip the destination's own distance (always 0 in a healthy row) so the
+  // corruption is unambiguous and cheap to hit.
+  it->second.dist[dst] = it->second.dist[dst] + 1;
+  return true;
 }
 
 }  // namespace mic::topo

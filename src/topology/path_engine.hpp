@@ -27,20 +27,36 @@
 // Invariant PE-1: for any fixed graph and failed-link set, a row's contents
 // are a pure function of its destination -- independent of query order,
 // warm-up, and warm-up thread count -- so sampling with a fixed-seed Rng is
-// deterministic regardless of how the cache was populated.
+// deterministic regardless of how the cache was populated.  self_check()
+// is the runtime audit of PE-1 (registered as "PE-1" in audit::Registry).
+//
+// Thread model.  The row cache and its stats are guarded by rows_mu_, so
+// *queries* (distance / sampling / enumeration, and warm_up itself) are
+// safe from any number of concurrent threads: PE-1 makes duplicated misses
+// converge to identical rows, and unordered_map references are stable
+// under insertion.  *Mutation* of the failure set (link_failed /
+// link_restored / set_failed_links) is event-loop-only and must be
+// externally serialized against all queries -- it erases rows that
+// concurrent readers could be holding references into.  The lock
+// discipline is annotated for Clang's -Wthread-safety (see
+// common/thread_annotations.hpp); GCC compiles the annotations away.
 //
 // AllPairsPaths remains in the tree as the reference oracle for the
 // differential tests (tests/test_pathengine_diff.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "topology/graph.hpp"
 
 namespace mic::topo {
@@ -60,70 +76,100 @@ class PathEngine {
 
   /// Hop distance (number of links) from src to dst; kUnreachable if
   /// unreachable.  Computes and caches the dst row on first use.
-  std::uint32_t distance(NodeId src, NodeId dst) const {
+  std::uint32_t distance(NodeId src, NodeId dst) const
+      MIC_EXCLUDES(rows_mu_) {
     return row(dst).dist[src];
   }
 
-  bool reachable(NodeId src, NodeId dst) const {
+  bool reachable(NodeId src, NodeId dst) const MIC_EXCLUDES(rows_mu_) {
     return distance(src, dst) != kUnreachable;
   }
 
   /// Number of switches on a shortest path (path length minus two hosts).
-  std::uint32_t switch_hops(NodeId src, NodeId dst) const {
+  std::uint32_t switch_hops(NodeId src, NodeId dst) const
+      MIC_EXCLUDES(rows_mu_) {
     const auto d = distance(src, dst);
     return d == kUnreachable ? kUnreachable : d - 1;
   }
 
   /// Uniformly-at-each-hop sample of one equal-cost shortest path (node
   /// sequence including both endpoints) via a random successor walk.
-  Path sample_shortest_path(NodeId src, NodeId dst, Rng& rng) const;
+  Path sample_shortest_path(NodeId src, NodeId dst, Rng& rng) const
+      MIC_EXCLUDES(rows_mu_);
 
   /// Enumerate equal-cost shortest paths, up to `limit` of them.
   std::vector<Path> enumerate_shortest_paths(NodeId src, NodeId dst,
-                                             std::size_t limit) const;
+                                             std::size_t limit) const
+      MIC_EXCLUDES(rows_mu_);
 
   /// Find a simple-edged path whose *switch count* is at least
   /// `min_switches` (Sec IV-B2: paths longer than the shortest are spliced
   /// through random switch waypoints; directed edges never repeat).
   std::optional<Path> sample_long_path(NodeId src, NodeId dst,
                                        std::uint32_t min_switches, Rng& rng,
-                                       int attempts = 64) const;
+                                       int attempts = 64) const
+      MIC_EXCLUDES(rows_mu_);
 
   // --- failure epochs ---------------------------------------------------------
+  //
+  // Event-loop-only: these erase cached rows, so no query may run
+  // concurrently (returned row references would dangle).
 
   /// Treat `link` as absent from now on.  Bumps the failure epoch and
   /// invalidates only the cached rows whose BFS tree used the link.
-  void link_failed(LinkId link);
+  void link_failed(LinkId link) MIC_EXCLUDES(rows_mu_);
 
   /// Bring `link` back.  A restored link can create shorter paths for any
   /// row where its endpoints' distances differ, so those rows are dropped.
-  void link_restored(LinkId link);
+  void link_restored(LinkId link) MIC_EXCLUDES(rows_mu_);
 
   /// Diff the engine's excluded set against `failed`: newly failed links
   /// go through link_failed(), newly restored ones through
   /// link_restored().  Used to sync with an externally-owned failure set.
-  void set_failed_links(const std::unordered_set<LinkId>& failed);
+  void set_failed_links(const std::unordered_set<LinkId>& failed)
+      MIC_EXCLUDES(rows_mu_);
 
   const std::unordered_set<LinkId>& failed_links() const noexcept {
     return failed_;
   }
 
   /// Monotone counter, bumped by every link_failed()/link_restored().
-  std::uint32_t failure_epoch() const noexcept { return epoch_; }
+  std::uint32_t failure_epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
   // --- warm-up ----------------------------------------------------------------
 
   /// Precompute rows for `dsts` (skipping cached ones), fanning the
   /// independent per-destination BFS runs across up to `threads` threads.
-  /// Safe outside the single-threaded event loop: each row is written by
-  /// exactly one worker into its own slot and merged after the join, and
-  /// PE-1 makes the result identical for any thread count.
-  void warm_up(const std::vector<NodeId>& dsts, unsigned threads = 1);
+  /// Safe concurrently with queries: each row is written by exactly one
+  /// worker into its own slot and merged under the cache lock after the
+  /// join, and PE-1 makes the result identical for any thread count.
+  void warm_up(const std::vector<NodeId>& dsts, unsigned threads = 1)
+      MIC_EXCLUDES(rows_mu_);
 
-  // --- introspection ----------------------------------------------------------
+  // --- introspection / audit --------------------------------------------------
 
-  const PathEngineStats& stats() const noexcept { return stats_; }
-  std::size_t cached_rows() const noexcept { return rows_.size(); }
+  PathEngineStats stats() const MIC_EXCLUDES(rows_mu_) {
+    MutexLock lock(rows_mu_);
+    return stats_;
+  }
+  std::size_t cached_rows() const MIC_EXCLUDES(rows_mu_) {
+    MutexLock lock(rows_mu_);
+    return rows_.size();
+  }
+
+  /// Runtime audit of PE-1: recompute every cached row from scratch and
+  /// compare distances, CSR offsets and successor buffers byte for byte.
+  /// Appends one message per corrupt row to `violations`; returns the
+  /// number of rows checked.  Event-loop-only (walks the whole cache).
+  std::size_t self_check(std::vector<std::string>& violations) const
+      MIC_EXCLUDES(rows_mu_);
+
+  /// Test-only: deliberately corrupt the cached row for `dst` (flips one
+  /// distance entry) so negative tests can prove self_check() catches it.
+  /// Returns false when the row is not cached.
+  bool debug_corrupt_cached_row(NodeId dst) MIC_EXCLUDES(rows_mu_);
 
  private:
   /// One destination's view of the fabric: distances from every node plus
@@ -142,8 +188,10 @@ class PathEngine {
     }
   };
 
+  /// Pure function of (graph_, failed_, dst) -- touches no guarded state,
+  /// so warm-up workers may run it without the lock.
   Row compute_row(NodeId dst) const;
-  const Row& row(NodeId dst) const;
+  const Row& row(NodeId dst) const MIC_EXCLUDES(rows_mu_);
 
   /// Does dropping or restoring the link (a, b) change this row?  Only if
   /// a path toward `dst` can cross it: the endpoint nearer dst (or the
@@ -160,7 +208,7 @@ class PathEngine {
     return nearer == dst || graph_.is_switch(nearer);
   }
 
-  void invalidate_rows_touching(LinkId link);
+  void invalidate_rows_touching(LinkId link) MIC_REQUIRES(rows_mu_);
 
   void enumerate_rec(const Row& row, NodeId cur, NodeId dst, Path& prefix,
                      std::vector<Path>& out, std::size_t limit) const;
@@ -168,13 +216,19 @@ class PathEngine {
   const Graph& graph_;
   std::size_t n_;
   std::vector<NodeId> switches_;  // cached for sample_long_path waypoints
-  std::unordered_set<LinkId> failed_;
-  std::uint32_t epoch_ = 0;
 
-  // Lazily-populated row cache; mutable so that const queries can memoize
-  // (single-threaded access, except through warm_up()).
-  mutable std::unordered_map<NodeId, Row> rows_;
-  mutable PathEngineStats stats_;
+  // Failure state: written only from the event loop (never concurrently
+  // with queries -- see the thread model above), read lock-free by
+  // compute_row.  The epoch is atomic so introspection can read it from
+  // any thread.
+  std::unordered_set<LinkId> failed_;
+  std::atomic<std::uint32_t> epoch_{0};
+
+  // Row cache + stats, guarded for concurrent queries and warm-up.
+  // mutable so const queries can memoize.
+  mutable mic::Mutex rows_mu_;
+  mutable std::unordered_map<NodeId, Row> rows_ MIC_GUARDED_BY(rows_mu_);
+  mutable PathEngineStats stats_ MIC_GUARDED_BY(rows_mu_);
 };
 
 }  // namespace mic::topo

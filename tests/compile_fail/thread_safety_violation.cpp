@@ -1,0 +1,42 @@
+// Compile-FAIL probe for the thread-safety annotations (must NOT build).
+//
+// Under Clang with -Werror=thread-safety-analysis (wired onto mic_warnings
+// in the top-level CMakeLists.txt) each function below is a diagnosed
+// violation, so this translation unit fails to compile -- which is the
+// pass condition of the `compile_fail_thread_safety` ctest entry.  If the
+// annotations in src/common/thread_annotations.hpp ever degrade to no-ops
+// on Clang, or the -Wthread-safety wiring is dropped, this file starts
+// compiling and the test fails.
+//
+// GCC has no thread-safety analysis; the test is only registered for Clang
+// builds.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: writes a GUARDED_BY member without holding the mutex.
+  void increment_unlocked() { ++value_; }
+
+  // VIOLATION: declares the requirement but releases before the write.
+  void increment_after_release() {
+    mu_.lock();
+    mu_.unlock();
+    ++value_;
+  }
+
+ private:
+  mic::Mutex mu_;
+  long value_ MIC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment_unlocked();
+  c.increment_after_release();
+  return 0;
+}

@@ -2,14 +2,14 @@
 // (all-or-nothing) rule installation with retry, switch-scope failures,
 // teardown/reclaim racing repairs, and the seeded chaos soak across three
 // topologies (fat-tree, leaf-spine, BCube).  Every run must end with a
-// clean collision audit, zero orphan rules (FD-1) and surviving channels
-// still delivering.
+// clean audit::run_all checkpoint (FT-1, CA-1, PE-1, FD-1) and surviving
+// channels still delivering.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <set>
 
-#include "core/collision_audit.hpp"
+#include "core/audit_registry.hpp"
 #include "core/fabric.hpp"
 #include "core/fault_injector.hpp"
 #include "core/mic_client.hpp"
@@ -104,8 +104,8 @@ TEST(FailureDetection, LinkCutAloneTriggersRepair) {
   bed.fabric.network().set_link_up(victim, true);
   bed.fabric.simulator().run_until();
   EXPECT_TRUE(bed.fabric.mc().failed_links().empty());
-  EXPECT_TRUE(core::audit_collisions(bed.fabric.mc()).ok);
-  EXPECT_TRUE(core::audit_orphan_rules(bed.fabric.mc()).ok);
+  const auto report = audit::run_all(bed.fabric);
+  EXPECT_TRUE(report.ok) << report.first_violation();
 }
 
 TEST(FailureDetection, RestoreReoptimizesCommonFlowRouting) {
@@ -189,7 +189,7 @@ TEST(SwitchFailure, CrashRepairsChannelsAndRestoreRefillsTable) {
   for (const topo::NodeId node : new_plan.path) {
     EXPECT_NE(node, victim);
   }
-  EXPECT_TRUE(core::audit_orphan_rules(bed.fabric.mc()).ok);
+  EXPECT_TRUE(audit::run_all(bed.fabric).ok);
 
   // Recovery repopulates the rebooted switch's (cleared) table with CF
   // routing and clears the failure bookkeeping.
@@ -198,7 +198,7 @@ TEST(SwitchFailure, CrashRepairsChannelsAndRestoreRefillsTable) {
   EXPECT_TRUE(bed.fabric.mc().failed_switches().empty());
   EXPECT_TRUE(bed.fabric.mc().failed_links().empty());
   EXPECT_GT(bed.fabric.mc().switch_at(victim)->table().rule_count(), 0u);
-  EXPECT_TRUE(core::audit_collisions(bed.fabric.mc()).ok);
+  EXPECT_TRUE(audit::run_all(bed.fabric).ok);
 }
 
 // --- transactional installs ---------------------------------------------------
@@ -217,9 +217,10 @@ TEST(InstallFailure, EstablishmentRollsBackAndRetries) {
   EXPECT_FALSE(doomed->ready());
   EXPECT_EQ(bed.fabric.mc().active_channel_count(), 0u);
   EXPECT_GE(bed.fabric.mc().install_retries(), 1u);
-  const auto orphans = core::audit_orphan_rules(bed.fabric.mc());
-  EXPECT_TRUE(orphans.ok);
-  EXPECT_EQ(orphans.mflow_rules, 0u);  // literally no channel rules anywhere
+  const auto report = audit::run_all(bed.fabric);
+  EXPECT_TRUE(report.ok) << report.first_violation();
+  // literally no channel rules anywhere
+  EXPECT_EQ(report.check("FD-1").metric("mflow_rules"), 0u);
   doomed.reset();
 
   // Once the faults clear, the same request succeeds.
@@ -267,8 +268,7 @@ TEST(InstallFailure, RetryWithBackoffSucceedsOnceFaultClears) {
   EXPECT_TRUE(channel.ready());
   EXPECT_FALSE(channel.failed());
   EXPECT_GE(bed.fabric.mc().install_retries(), 1u);
-  EXPECT_TRUE(core::audit_orphan_rules(bed.fabric.mc()).ok);
-  EXPECT_TRUE(core::audit_collisions(bed.fabric.mc()).ok);
+  EXPECT_TRUE(audit::run_all(bed.fabric).ok);
 }
 
 // --- teardown / reclaim racing failures ---------------------------------------
@@ -292,7 +292,7 @@ TEST(TeardownRace, TeardownAcrossFailedLinkLeavesNoOrphans) {
 
   EXPECT_EQ(bed.fabric.mc().active_channel_count(), 0u);
   EXPECT_EQ(bed.fabric.mc().channels_repaired(), 0u);
-  EXPECT_TRUE(core::audit_orphan_rules(bed.fabric.mc()).ok);
+  EXPECT_TRUE(audit::run_all(bed.fabric).ok);
 
   bed.fabric.network().set_link_up(victim, true);
   bed.fabric.simulator().run_until();
@@ -328,8 +328,7 @@ TEST(TeardownRace, ReclaimIdleMidRepairLeavesNoOrphans) {
   EXPECT_EQ(reason, "idle channel reclaimed");
   EXPECT_TRUE(channel.failed());
   EXPECT_EQ(bed.fabric.mc().active_channel_count(), 0u);
-  EXPECT_TRUE(core::audit_orphan_rules(bed.fabric.mc()).ok);
-  EXPECT_TRUE(core::audit_collisions(bed.fabric.mc()).ok);
+  EXPECT_TRUE(audit::run_all(bed.fabric).ok);
 
   bed.fabric.network().set_link_up(victim, true);
   bed.fabric.simulator().run_until();
@@ -399,12 +398,8 @@ ChaosOutcome run_chaos(FabricT& fabric, std::size_t server_idx,
   EXPECT_TRUE(fabric.simulator().idle());
   EXPECT_TRUE(fabric.mc().failed_links().empty());
   EXPECT_TRUE(fabric.mc().failed_switches().empty());
-  const auto collisions = core::audit_collisions(fabric.mc());
-  EXPECT_TRUE(collisions.ok)
-      << (collisions.violations.empty() ? "" : collisions.violations.front());
-  const auto orphans = core::audit_orphan_rules(fabric.mc());
-  EXPECT_TRUE(orphans.ok)
-      << (orphans.violations.empty() ? "" : orphans.violations.front());
+  const audit::RunReport report = audit::run_all(fabric.mc());
+  EXPECT_TRUE(report.ok) << report.first_violation();
 
   // Every surviving channel still delivers, byte for byte.
   constexpr std::uint64_t kProbe = 16 * 1024;

@@ -350,7 +350,9 @@ TEST(Rsa, WrongKeyFailsCleanly) {
   const auto ciphertext = rsa_encrypt(alice.pub, msg, rng);
   const auto wrong = rsa_decrypt(mallory, ciphertext);
   // Padding check rejects (overwhelmingly likely), or yields garbage.
-  if (wrong.has_value()) EXPECT_NE(*wrong, msg);
+  if (wrong.has_value()) {
+    EXPECT_NE(*wrong, msg);
+  }
 }
 
 TEST(Rsa, RandomizedPaddingVariesCiphertext) {

@@ -87,11 +87,11 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(4, 3, 0, false), std::make_tuple(1, 3, 2, false),
         std::make_tuple(2, 2, 1, false), std::make_tuple(1, 3, 0, true),
         std::make_tuple(3, 4, 0, true), std::make_tuple(2, 3, 2, true)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int, bool>>& info) {
-      return "F" + std::to_string(std::get<0>(info.param)) + "N" +
-             std::to_string(std::get<1>(info.param)) + "D" +
-             std::to_string(std::get<2>(info.param)) +
-             (std::get<3>(info.param) ? "Ssl" : "Tcp");
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, bool>>& shape) {
+      return "F" + std::to_string(std::get<0>(shape.param)) + "N" +
+             std::to_string(std::get<1>(shape.param)) + "D" +
+             std::to_string(std::get<2>(shape.param)) +
+             (std::get<3>(shape.param) ? "Ssl" : "Tcp");
     });
 
 // --- TCP under swept loss ---------------------------------------------------------
