@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/channel_journal.hpp"
 #include "core/collision_audit.hpp"
 #include "core/mimic_controller.hpp"
 
@@ -32,6 +33,41 @@ CheckResult check_flow_tables(core::MimicController& mc) {
       result.violations.push_back("switch " + std::to_string(sw) + ": " +
                                   std::move(v));
     }
+  }
+  result.ok = result.violations.empty();
+  return result;
+}
+
+CheckResult check_recovery_consistency(core::MimicController& mc) {
+  // RC-1: the durable journal and the fabric agree.  Replaying the journal
+  // must yield exactly the live channel set (structurally equal state),
+  // and every switch must hold exactly the rules those channels derive
+  // (content-compared; group references through their buckets).  This is
+  // what makes crash()+recover() safe at any instant: whatever the journal
+  // claims is what the data plane serves.
+  CheckResult result;
+  const core::JournalImage image = mc.journal().replay();
+  result.metrics.emplace_back(
+      "journaled_channels",
+      static_cast<std::uint64_t>(image.channels.size()));
+
+  for (const core::ChannelId id : mc.channel_ids()) {
+    const auto it = image.channels.find(id);
+    if (it == image.channels.end()) {
+      result.violations.push_back("channel " + std::to_string(id) +
+                                  " is live but absent from the journal");
+    } else if (!core::structurally_equal(it->second, *mc.channel(id))) {
+      result.violations.push_back("channel " + std::to_string(id) +
+                                  " diverges from its journaled state");
+    }
+  }
+  for (const auto& [id, state] : image.channels) {
+    if (mc.channel(id) == nullptr) {
+      result.violations.push_back("channel " + std::to_string(id) +
+                                  " is journaled but not live");
+      continue;
+    }
+    result.items_checked += mc.verify_channel_rules(state, &result.violations);
   }
   result.ok = result.violations.empty();
   return result;
@@ -88,6 +124,8 @@ Registry::Registry() {
       [](core::MimicController& mc) {
         return from_audit_report(core::audit_orphan_rules(mc));
       });
+  add("RC-1", "journal / switch-resync consistency",
+      check_recovery_consistency);
 }
 
 Registry& Registry::instance() {

@@ -24,6 +24,7 @@ struct HopAddresses {
   net::L4Port sport = 0;
   net::L4Port dport = 0;
   net::MplsLabel mpls = net::kNoMpls;
+  bool operator==(const HopAddresses&) const noexcept = default;
 };
 
 /// One decoy replica emitted by the partially-multicast mechanism.
@@ -33,6 +34,7 @@ struct DecoyPlan {
   topo::NodeId next_switch = topo::kInvalidNode;
   topo::PortId next_in_port = topo::kInvalidPort;
   FlowId flow_id = kInvalidFlowId;
+  bool operator==(const DecoyPlan&) const noexcept = default;
 };
 
 /// Complete routing plan of one m-flow (paper Sec IV-B2): a path, the MN
@@ -44,6 +46,7 @@ struct MFlowPlan {
   std::vector<HopAddresses> forward;      // size N+1; [0]=initial, [N]=final
   std::vector<HopAddresses> reverse;      // same, along the reversed path
   std::vector<DecoyPlan> decoys;          // at the first forward MN
+  bool operator==(const MFlowPlan&) const noexcept = default;
 };
 
 struct ChannelState {

@@ -1,0 +1,101 @@
+#include "core/channel_journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mic::core {
+
+bool structurally_equal(const ChannelState& a, const ChannelState& b) {
+  return a.id == b.id && a.initiator == b.initiator &&
+         a.responder == b.responder && a.flows == b.flows &&
+         a.touched_switches == b.touched_switches &&
+         a.install_txn == b.install_txn;
+}
+
+void ChannelJournal::record_establish(const ChannelState& state,
+                                      ChannelId next_channel,
+                                      std::uint32_t next_group) {
+  JournalRecord record;
+  record.type = JournalRecordType::kEstablish;
+  record.channel = state.id;
+  record.state = state;
+  record.next_channel = next_channel;
+  record.next_group = next_group;
+  append(std::move(record));
+}
+
+void ChannelJournal::record_repair(const ChannelState& state,
+                                   ChannelId next_channel,
+                                   std::uint32_t next_group) {
+  JournalRecord record;
+  record.type = JournalRecordType::kRepair;
+  record.channel = state.id;
+  record.state = state;
+  record.next_channel = next_channel;
+  record.next_group = next_group;
+  append(std::move(record));
+}
+
+void ChannelJournal::record_teardown(ChannelId channel) {
+  JournalRecord record;
+  record.type = JournalRecordType::kTeardown;
+  record.channel = channel;
+  append(std::move(record));
+}
+
+JournalImage ChannelJournal::replay() const {
+  JournalImage image;
+  for (const JournalRecord& record : records_) {
+    switch (record.type) {
+      case JournalRecordType::kEstablish:
+      case JournalRecordType::kRepair:
+      case JournalRecordType::kSnapshot: {
+        ChannelState state = record.state;
+        // Idle bookkeeping is soft state: a recovered channel restarts
+        // its idle clock rather than inheriting a stale timestamp.
+        state.idle = false;
+        state.idle_since = 0;
+        image.channels.insert_or_assign(record.channel, std::move(state));
+        image.next_channel = std::max(image.next_channel, record.next_channel);
+        image.next_group = std::max(image.next_group, record.next_group);
+        break;
+      }
+      case JournalRecordType::kTeardown:
+        image.channels.erase(record.channel);
+        break;
+    }
+  }
+  return image;
+}
+
+void ChannelJournal::compact() {
+  JournalImage image = replay();
+  records_.clear();
+  for (auto& [id, state] : image.channels) {
+    JournalRecord record;
+    record.type = JournalRecordType::kSnapshot;
+    record.channel = id;
+    record.state = std::move(state);
+    record.next_channel = image.next_channel;
+    record.next_group = image.next_group;
+    record.seq = next_seq_++;
+    records_.push_back(std::move(record));
+  }
+  ++compactions_;
+}
+
+void ChannelJournal::truncate_tail(std::size_t n) {
+  records_.resize(records_.size() - std::min(n, records_.size()));
+}
+
+void ChannelJournal::clear() { records_.clear(); }
+
+void ChannelJournal::append(JournalRecord record) {
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+  if (compaction_threshold_ != 0 && records_.size() > compaction_threshold_) {
+    compact();
+  }
+}
+
+}  // namespace mic::core

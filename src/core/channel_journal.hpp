@@ -1,0 +1,104 @@
+// Write-ahead channel journal: the Mimic Controller's durable record of
+// every channel it has planned.  Each establish/repair commits a compact
+// record (channel id, flow ids, MN list, m-address tuples, MPLS labels,
+// install-txn generation — i.e. the full ChannelState) together with the
+// allocator high-water marks needed to restart id allocation; teardowns
+// append a tombstone.  `replay()` folds the log into the image a restarted
+// MC adopts, `compact()` rewrites the log as one snapshot record per live
+// channel, and `truncate_tail()` models a crash mid-commit (the tail
+// record never made it to stable storage).
+//
+// The journal is in-memory: this simulation models the *protocol* (what
+// must be logged, and how a restarted controller reconciles switches
+// against the log), not the storage engine underneath it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/channel.hpp"
+
+namespace mic::core {
+
+enum class JournalRecordType : std::uint8_t {
+  kEstablish,  // full ChannelState at plan time
+  kRepair,     // full ChannelState after a replan (install_txn bumped)
+  kTeardown,   // tombstone: only `channel` is meaningful
+  kSnapshot,   // one live channel, produced by compact()
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kEstablish;
+  std::uint64_t seq = 0;  // monotone across compactions
+  ChannelId channel = 0;
+  /// Valid for kEstablish/kRepair/kSnapshot.
+  ChannelState state;
+  /// Allocator high-water marks at commit time (kEstablish/kRepair/
+  /// kSnapshot): the next channel id and the next SELECT-group id the MC
+  /// would hand out.  Replay takes the max so a recovered MC never reuses
+  /// an id that may still be wired into a switch.
+  ChannelId next_channel = 0;
+  std::uint32_t next_group = 0;
+};
+
+/// The folded view of the log: what a restarted MC believes exists.
+struct JournalImage {
+  std::map<ChannelId, ChannelState> channels;  // ordered => deterministic
+  ChannelId next_channel = 0;
+  std::uint32_t next_group = 0;
+};
+
+/// Structural identity of two channel states: everything the data plane
+/// and the allocators depend on.  Soft liveness state (`idle`,
+/// `idle_since`) is deliberately excluded — it is not journaled and a
+/// recovered channel restarts its idle clock.
+bool structurally_equal(const ChannelState& a, const ChannelState& b);
+
+class ChannelJournal {
+ public:
+  void record_establish(const ChannelState& state, ChannelId next_channel,
+                        std::uint32_t next_group);
+  void record_repair(const ChannelState& state, ChannelId next_channel,
+                     std::uint32_t next_group);
+  void record_teardown(ChannelId channel);
+
+  /// Fold the log into the image a recovering MC adopts.
+  JournalImage replay() const;
+
+  /// Rewrite the log as one kSnapshot record per live channel (id order).
+  /// Sequence numbers keep increasing: a snapshot is an append that
+  /// obsoletes the prefix, not a history rewrite.
+  void compact();
+
+  /// Drop the last `n` records, as if the process died before they hit
+  /// stable storage.  Clamped to the log length.
+  void truncate_tail(std::size_t n);
+
+  void clear();
+
+  /// Auto-compact whenever the log exceeds `records` entries (0 = never).
+  void set_compaction_threshold(std::size_t records) {
+    compaction_threshold_ = records;
+  }
+
+  const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  /// Total records ever appended (monotone; survives compaction).
+  std::uint64_t appends() const noexcept { return next_seq_ - 1; }
+  std::uint64_t compactions() const noexcept { return compactions_; }
+
+ private:
+  void append(JournalRecord record);
+
+  std::vector<JournalRecord> records_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t compaction_threshold_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace mic::core

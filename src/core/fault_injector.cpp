@@ -136,6 +136,31 @@ void FaultInjector::arm() {
       mc_.set_control_drop_probability(0.0);
     });
   }
+
+  // MC crash/recover cycles.  Drawn last so mc_crashes = 0 reproduces the
+  // pre-existing schedule for any seed bit-for-bit.
+  for (int i = 0; i < options_.mc_crashes; ++i) {
+    const sim::SimTime down_at = fault_time();
+    const sim::SimTime up_at = down_at + outage_time();
+    schedule_log_.push_back("crash MC @" + us(down_at) + " until " +
+                            us(up_at));
+    sim.schedule_in(down_at, [this] {
+      if (mc_.crashed()) return;  // an earlier cycle is still down
+      mc_.crash();
+      ++mc_crashes_fired_;
+    });
+    sim.schedule_in(up_at, [this] {
+      if (!mc_.crashed()) return;  // paired crash was skipped
+      if (options_.mc_crash_truncate_records > 0) {
+        ChannelJournal damaged = mc_.journal();
+        damaged.truncate_tail(
+            static_cast<std::size_t>(options_.mc_crash_truncate_records));
+        recoveries_.push_back(mc_.recover(damaged));
+      } else {
+        recoveries_.push_back(mc_.recover(mc_.journal()));
+      }
+    });
+  }
 }
 
 }  // namespace mic::core

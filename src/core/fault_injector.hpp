@@ -53,6 +53,19 @@ struct FaultInjectorOptions {
   int control_drop_bursts = 1;
   double control_drop_probability = 0.25;
   sim::SimTime control_drop_duration = sim::milliseconds(3);
+
+  /// Mimic-controller crash/recover cycles (same outage distribution):
+  /// crash() wipes the MC's soft state mid-run, recover() replays the
+  /// journal and resyncs every switch.  Scheduled after all other fault
+  /// draws, so enabling them never perturbs an existing seed's link-flap /
+  /// switch-crash schedule.  A crash landing while the MC is already down
+  /// is skipped (one controller, one outage at a time).
+  int mc_crashes = 0;
+  /// Recover from a tail-truncated copy of the journal instead of the
+  /// intact one -- models a crash that lost the last few commits.  The
+  /// resync sweep then finds switches ahead of the journal and tears the
+  /// unknown cookies down (reconcile-by-audit).
+  int mc_crash_truncate_records = 0;
 };
 
 class FaultInjector {
@@ -67,6 +80,12 @@ class FaultInjector {
   std::size_t links_flapped() const noexcept { return links_flapped_; }
   std::size_t switches_crashed() const noexcept { return switches_crashed_; }
   std::size_t bursts_fired() const noexcept { return bursts_fired_; }
+  std::size_t mc_crashes_fired() const noexcept { return mc_crashes_fired_; }
+  /// Recovery reports from every MC recover() the schedule performed.
+  const std::vector<MimicController::RecoveryReport>& recoveries()
+      const noexcept {
+    return recoveries_;
+  }
   /// Human-readable schedule, in injection order (diagnostics; also handy
   /// as determinism evidence -- same seed, same log).
   const std::vector<std::string>& schedule_log() const noexcept {
@@ -85,6 +104,8 @@ class FaultInjector {
   std::size_t links_flapped_ = 0;
   std::size_t switches_crashed_ = 0;
   std::size_t bursts_fired_ = 0;
+  std::size_t mc_crashes_fired_ = 0;
+  std::vector<MimicController::RecoveryReport> recoveries_;
   std::vector<std::string> schedule_log_;
 };
 

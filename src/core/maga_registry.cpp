@@ -105,6 +105,35 @@ void MagaRegistry::release_tuples(topo::NodeId mn,
   for (const auto& t : tuples) it->second.allocated.erase(fingerprint(t));
 }
 
+void MagaRegistry::reset_allocations() {
+  next_flow_id_ = flow_ids_.base;
+  free_flow_ids_.clear();
+  active_ids_.clear();
+  for (auto& [sw, state] : switches_) state.allocated.clear();
+}
+
+void MagaRegistry::adopt_flow_id(FlowId id) {
+  MIC_ASSERT_MSG(id >= flow_ids_.base && id < flow_ids_.base + flow_ids_.size,
+                 "adopted flow ID outside this controller's range");
+  MIC_ASSERT_MSG(active_ids_.insert(id).second,
+                 "adopting a flow ID that is already active");
+  if (id >= next_flow_id_) next_flow_id_ = static_cast<FlowId>(id + 1);
+}
+
+void MagaRegistry::adopt_tuples(topo::NodeId mn,
+                                const std::vector<MTuple>& tuples) {
+  auto it = switches_.find(mn);
+  MIC_ASSERT_MSG(it != switches_.end(), "MN not registered with MAGA");
+  for (const auto& t : tuples) it->second.allocated.insert(fingerprint(t));
+}
+
+void MagaRegistry::rebuild_free_list() {
+  free_flow_ids_.clear();
+  for (FlowId id = flow_ids_.base; id < next_flow_id_; ++id) {
+    if (!active_ids_.contains(id)) free_flow_ids_.push_back(id);
+  }
+}
+
 FlowId MagaRegistry::flow_id_of(topo::NodeId mn, const MTuple& tuple) const {
   const auto it = switches_.find(mn);
   MIC_ASSERT_MSG(it != switches_.end(), "MN not registered with MAGA");

@@ -82,6 +82,30 @@ class MagaRegistry {
   /// Release the tuples a channel allocated on `mn`.
   void release_tuples(topo::NodeId mn, const std::vector<MTuple>& tuples);
 
+  // --- crash recovery -------------------------------------------------------
+  //
+  // A restarted MC keeps its deployment-wide secrets (classifier, per-MN
+  // hashes, S_IDs — all derived from the shared seed) but loses the
+  // dynamic allocation state.  Recovery resets it and re-adopts ids and
+  // tuples from the replayed channel journal.
+
+  /// Drop every allocated flow id and tuple fingerprint; keep the secrets
+  /// and switch registrations.
+  void reset_allocations();
+
+  /// Re-mark `id` active after a restart.  The free list is rebuilt by
+  /// `rebuild_free_list()` once every journaled id has been adopted.
+  void adopt_flow_id(FlowId id);
+
+  /// Re-insert the fingerprints of journaled tuples on `mn` so future
+  /// generation keeps avoiding them.
+  void adopt_tuples(topo::NodeId mn, const std::vector<MTuple>& tuples);
+
+  /// Recreate the free list as every id below the adopted high-water mark
+  /// that is not active (ascending — deterministic, though not necessarily
+  /// the pre-crash LIFO order).
+  void rebuild_free_list();
+
   // --- verification (used by the collision audit and tests) -----------------
 
   /// F_mn(tuple) -- must equal the owning flow's ID.

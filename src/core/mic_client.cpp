@@ -60,9 +60,105 @@ void MicChannel::start_establish() {
   const std::uint64_t gen = generation_;
   mc_.async_establish(host_.ip(), std::move(bytes), control_counter_,
                       [this, gen](const EstablishResult& result) {
-                        if (gen != generation_ || user_closed_) return;
+                        if (gen != generation_ || user_closed_) {
+                          // A stale ack for a generation we gave up on: the
+                          // MC holds a live channel nobody owns.  Release
+                          // it rather than stranding its rules.
+                          if (result.ok) mc_.teardown(result.channel, false);
+                          return;
+                        }
                         on_established(result);
                       });
+  if (options_.control_timeout > 0) arm_establish_timeout();
+}
+
+sim::SimTime MicChannel::backoff_for(int attempt) const {
+  const sim::SimTime base = options_.reestablish_backoff_base;
+  const int shift = std::min(attempt - 1, 20);
+  sim::SimTime backoff = base << shift;
+  if (backoff > options_.reestablish_backoff_cap ||
+      (shift > 0 && (backoff >> shift) != base)) {
+    backoff = options_.reestablish_backoff_cap;
+  }
+  const sim::SimTime jitter = base == 0 ? 0 : rng_.below(base);
+  return backoff + jitter;
+}
+
+void MicChannel::arm_establish_timeout() {
+  const std::uint64_t gen = generation_;
+  host_.simulator().schedule_in(options_.control_timeout, [this, gen] {
+    if (gen != generation_ || user_closed_ || failed_) return;
+    if (channel_id_ != 0) return;  // the ack landed
+    // Controller silence: a live MC always answers (even a failed
+    // establishment gets an error ack); only a crashed one says nothing.
+    ++silences_;
+    ++silence_streak_;
+    log_warn("MIC channel: no establish ack after %llu us (silence %d)",
+             static_cast<unsigned long long>(options_.control_timeout / 1000),
+             silence_streak_);
+    retire_flows();  // bumps the generation; a late ack hits the stale path
+    if (silence_streak_ > options_.control_retry_limit) {
+      fail_with("controller unreachable: establishment unacknowledged");
+      return;
+    }
+    const std::uint64_t next = generation_;
+    host_.simulator().schedule_in(backoff_for(silence_streak_),
+                                  [this, next] {
+                                    if (next != generation_ || user_closed_) {
+                                      return;
+                                    }
+                                    start_establish();
+                                  });
+  });
+}
+
+void MicChannel::schedule_heartbeat() {
+  const std::uint64_t gen = generation_;
+  host_.simulator().schedule_in(options_.heartbeat_interval, [this, gen] {
+    if (gen != generation_ || user_closed_ || failed_) return;
+    probe_once(gen);
+  });
+}
+
+void MicChannel::probe_once(std::uint64_t gen) {
+  auto answered = std::make_shared<bool>(false);
+  mc_.probe_channel(
+      channel_id_,
+      [this, gen](MimicController::ChannelEvent event,
+                  const std::string& reason) {
+        if (gen != generation_) return;
+        on_channel_event(event, reason);
+      },
+      [this, gen, answered](bool alive) {
+        if (gen != generation_ || user_closed_ || failed_) return;
+        *answered = true;
+        silence_streak_ = 0;
+        if (!alive) {
+          // The channel died while the MC was away (or was reclaimed);
+          // take the normal lost path -- auto_reestablish still applies.
+          on_channel_event(MimicController::ChannelEvent::kLost,
+                           "channel not found after MC restart");
+          return;
+        }
+        schedule_heartbeat();
+      });
+  // A crashed MC drops the probe on the floor; the watchdog keeps probing
+  // (data still flows -- the rules outlive the MC) until the retry budget
+  // is spent.
+  const sim::SimTime timeout =
+      options_.control_timeout > 0
+          ? options_.control_timeout
+          : 4 * mc_.mic_config().control_latency + sim::milliseconds(1);
+  host_.simulator().schedule_in(timeout, [this, gen, answered] {
+    if (gen != generation_ || user_closed_ || failed_ || *answered) return;
+    ++silences_;
+    ++silence_streak_;
+    if (silence_streak_ > options_.control_retry_limit) {
+      fail_with("controller unreachable: heartbeat unanswered");
+      return;
+    }
+    probe_once(gen);
+  });
 }
 
 void MicChannel::fail_with(const std::string& reason) {
@@ -109,19 +205,14 @@ void MicChannel::on_channel_event(MimicController::ChannelEvent event,
       reestablish_attempts_ < options_.reestablish_limit) {
     ++reestablish_attempts_;
     retire_flows();
-    const sim::SimTime base = options_.reestablish_backoff_base;
-    const int shift = std::min(reestablish_attempts_ - 1, 20);
-    sim::SimTime backoff = base << shift;
-    if (backoff > options_.reestablish_backoff_cap ||
-        (shift > 0 && (backoff >> shift) != base)) {
-      backoff = options_.reestablish_backoff_cap;
-    }
-    const sim::SimTime jitter = base == 0 ? 0 : rng_.below(base);
     const std::uint64_t gen = generation_;
-    host_.simulator().schedule_in(backoff + jitter, [this, gen] {
-      if (gen != generation_ || user_closed_) return;
-      start_establish();
-    });
+    host_.simulator().schedule_in(backoff_for(reestablish_attempts_),
+                                  [this, gen] {
+                                    if (gen != generation_ || user_closed_) {
+                                      return;
+                                    }
+                                    start_establish();
+                                  });
     return;
   }
   retire_flows();
@@ -143,6 +234,7 @@ void MicChannel::on_established(const EstablishResult& result) {
   channel_id_ = result.channel;
   failed_ = false;
   error_.clear();
+  silence_streak_ = 0;  // the MC answered; silences start counting afresh
   const std::uint64_t gen = generation_;
   mc_.set_channel_listener(
       channel_id_, [this, gen](MimicController::ChannelEvent event,
@@ -150,6 +242,7 @@ void MicChannel::on_established(const EstablishResult& result) {
         if (gen != generation_) return;
         on_channel_event(event, reason);
       });
+  if (options_.heartbeat_interval > 0) schedule_heartbeat();
   // Decrypting the acknowledgement costs the client another AES pass.
   host_.charge(host_.costs().aes_crypt_cycles(
       8.0 * static_cast<double>(result.entries.size()) + 16.0));

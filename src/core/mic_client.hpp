@@ -47,6 +47,24 @@ struct MicChannelOptions {
   sim::SimTime reestablish_backoff_base = sim::milliseconds(2);
   sim::SimTime reestablish_backoff_cap = sim::milliseconds(50);
   int reestablish_limit = 4;
+
+  // --- controller-silence survival -------------------------------------------
+  /// Detect a silent MC (crashed, not merely slow): if the establishment
+  /// acknowledgement has not arrived within `control_timeout`, the request
+  /// is retried under the same capped jittered backoff as re-establishment,
+  /// up to `control_retry_limit` consecutive silences.  Sends queue while
+  /// unestablished and flush once the MC answers.  0 disables detection
+  /// (the default, so existing workloads stay event-for-event identical).
+  sim::SimTime control_timeout = 0;
+  int control_retry_limit = 8;
+  /// Opt-in liveness heartbeat: every `heartbeat_interval` the client
+  /// probes the MC for this channel, re-registering its event listener on
+  /// the way (an MC restart wipes subscriptions; kept channels would
+  /// otherwise never hear kLost again).  A silent probe counts a
+  /// controller silence and re-probes; a "not alive" reply follows the
+  /// normal channel-lost path.  0 = off (the default -- a perpetual
+  /// heartbeat keeps the simulator from ever going quiescent).
+  sim::SimTime heartbeat_interval = 0;
 };
 
 class MicChannel : public transport::ByteStream {
@@ -82,6 +100,9 @@ class MicChannel : public transport::ByteStream {
   std::uint64_t repair_count() const noexcept { return repairs_; }
   /// Automatic re-establishments attempted so far.
   int reestablish_attempts() const noexcept { return reestablish_attempts_; }
+  /// Control-channel timeouts observed (unacknowledged establishments and
+  /// unanswered heartbeat probes) -- how often the MC went silent on us.
+  std::uint64_t controller_silences() const noexcept { return silences_; }
   /// Time from construction to ready (the paper's "MIC connect" time).
   sim::SimTime setup_time() const noexcept { return ready_at_ - started_at_; }
   int flow_count() const noexcept { return static_cast<int>(flows_.size()); }
@@ -102,6 +123,15 @@ class MicChannel : public transport::ByteStream {
 
   void start_establish();
   void on_established(const EstablishResult& result);
+  /// Backoff before retry `attempt` (1-based): base * 2^(attempt-1),
+  /// clamped to the cap, plus seeded jitter in [0, base).
+  sim::SimTime backoff_for(int attempt) const;
+  /// Watchdog armed alongside every establishment request when
+  /// `control_timeout` is set; fires the silence-retry path if the ack
+  /// never lands.
+  void arm_establish_timeout();
+  void schedule_heartbeat();
+  void probe_once(std::uint64_t gen);
   void on_channel_event(MimicController::ChannelEvent event,
                         const std::string& reason);
   /// Park the current m-flows (their callbacks are de-generationed, the
@@ -137,6 +167,9 @@ class MicChannel : public transport::ByteStream {
   int flows_ready_ = 0;
   int reestablish_attempts_ = 0;
   std::uint64_t repairs_ = 0;
+  std::uint64_t silences_ = 0;
+  /// Consecutive unanswered control requests; reset on any MC reply.
+  int silence_streak_ = 0;
   sim::SimTime started_at_ = 0;
   sim::SimTime ready_at_ = 0;
   std::uint64_t control_counter_ = 0;

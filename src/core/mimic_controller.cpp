@@ -1,7 +1,9 @@
 #include "core/mimic_controller.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "common/log.hpp"
 
@@ -29,6 +31,7 @@ MimicController::MimicController(net::Network& network,
   next_channel_ =
       (static_cast<ChannelId>(mic_config_.instance_id) << 32) + 1;
   next_group_ = (mic_config_.instance_id << 24) + 1;
+  journal_.set_compaction_threshold(mic_config_.journal_compaction_threshold);
 
   // Every switch is a potential MN (paper: "Any switches in the network are
   // potential MNs"), so all get MAGA state up front.
@@ -357,7 +360,8 @@ void MimicController::install_direction(
     ChannelId id, const MFlowPlan& plan, const topo::Path& path,
     const std::vector<std::size_t>& mn_positions,
     const std::vector<HopAddresses>& hops,
-    const std::vector<DecoyPlan>& decoys, std::vector<InstallOp>& ops) {
+    const std::vector<DecoyPlan>& decoys, std::vector<InstallOp>& ops,
+    std::uint32_t& group_alloc) const {
   const auto& g = graph();
   const std::size_t n = mn_positions.size();
 
@@ -422,7 +426,7 @@ void MimicController::install_direction(
       // different m-addresses out different ports; only the real copy
       // survives its next hop.
       switchd::GroupEntry group;
-      group.group_id = next_group_++;
+      group.group_id = group_alloc++;
       group.type = switchd::GroupType::kAll;
       group.cookie = id;
       group.buckets.push_back(std::move(actions));
@@ -445,7 +449,7 @@ void MimicController::install_direction(
       // The group precedes the rule that references it; commits preserve
       // op order, so the reference is never dangling.
       ops.push_back({sw, std::move(group)});
-      rule.actions = {switchd::GroupAction{next_group_ - 1}};
+      rule.actions = {switchd::GroupAction{group_alloc - 1}};
     } else {
       rule.actions = std::move(actions);
     }
@@ -455,16 +459,18 @@ void MimicController::install_direction(
 }
 
 void MimicController::install_flow(ChannelId id, const MFlowPlan& plan,
-                                   std::vector<InstallOp>& ops) {
+                                   std::vector<InstallOp>& ops,
+                                   std::uint32_t& group_alloc) const {
   install_direction(id, plan, plan.path, plan.mn_positions, plan.forward,
-                    plan.decoys, ops);
+                    plan.decoys, ops, group_alloc);
   topo::Path rpath(plan.path.rbegin(), plan.path.rend());
   std::vector<std::size_t> rpositions;
   for (const std::size_t pos : plan.mn_positions) {
     rpositions.push_back(plan.path.size() - 1 - pos);
   }
   std::sort(rpositions.begin(), rpositions.end());
-  install_direction(id, plan, rpath, rpositions, plan.reverse, {}, ops);
+  install_direction(id, plan, rpath, rpositions, plan.reverse, {}, ops,
+                    group_alloc);
 }
 
 std::vector<topo::NodeId> MimicController::touched_switches(
@@ -647,7 +653,7 @@ EstablishResult MimicController::plan_channel(const EstablishRequest& request,
 
   std::vector<InstallOp> planned;
   for (const MFlowPlan& plan : state.flows) {
-    install_flow(state.id, plan, planned);
+    install_flow(state.id, plan, planned, next_group_);
   }
   state.touched_switches = touched_switches(planned);
   state.install_txn = 1;
@@ -657,12 +663,21 @@ EstablishResult MimicController::plan_channel(const EstablishRequest& request,
   for (const MFlowPlan& plan : state.flows) {
     result.entries.push_back({plan.forward[0].dst, plan.forward[0].dport});
   }
+  // Write-ahead: the journal learns the channel before any rule reaches a
+  // switch, so a crash mid-commit recovers to "journal ahead of switches"
+  // and the resync reinstalls (never the unrecoverable inverse).
+  journal_.record_establish(state, next_channel_, next_group_);
   channels_.emplace(state.id, std::move(state));
   ops = std::move(planned);
   return result;
 }
 
 EstablishResult MimicController::establish(const EstablishRequest& request) {
+  if (crashed_) {
+    EstablishResult down;
+    down.error = "controller unavailable";
+    return down;
+  }
   std::vector<InstallOp> ops;
   EstablishResult result = plan_channel(request, ops);
   if (!result.ok) return result;
@@ -671,6 +686,7 @@ EstablishResult MimicController::establish(const EstablishRequest& request) {
     for (const MFlowPlan& plan : it->second.flows) {
       release_plan_resources(plan);
     }
+    journal_.record_teardown(result.channel);
     channels_.erase(it);
     EstablishResult failed;
     failed.error = "rule install rejected; channel rolled back";
@@ -679,15 +695,37 @@ EstablishResult MimicController::establish(const EstablishRequest& request) {
   return result;
 }
 
+std::vector<EstablishResult> MimicController::establish_batch(
+    const std::vector<EstablishRequest>& requests) {
+  // Group by destination so one warm PathEngine row serves every channel
+  // headed there before the planner moves on; stable so same-destination
+  // requests keep their relative order (and with it the rng_ draw order).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto dest_key = [](const EstablishRequest& r) {
+    return std::make_tuple(r.service_name, r.responder_ip.value,
+                           r.responder_port);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dest_key(requests[a]) < dest_key(requests[b]);
+                   });
+  std::vector<EstablishResult> results(requests.size());
+  for (const std::size_t i : order) results[i] = establish(requests[i]);
+  return results;
+}
+
 void MimicController::async_establish(
     net::Ipv4 client, std::vector<std::uint8_t> encrypted_request,
     std::uint64_t message_counter,
     std::function<void(EstablishResult)> on_result) {
+  if (crashed_) return;  // a dead MC answers nothing, not even errors
   auto& simulator = network().simulator();
   simulator.schedule_in(
       mic_config_.control_latency,
       [this, client, enc = std::move(encrypted_request), message_counter,
        cb = std::move(on_result)]() mutable {
+        if (crashed_) return;  // crashed while the request was in flight
         const auto key_it = client_keys_.find(client.value);
         MIC_ASSERT_MSG(key_it != client_keys_.end(),
                        "client must register_client() before establishing");
@@ -705,6 +743,7 @@ void MimicController::async_establish(
 
         network().simulator().schedule_at(done, [this, request,
                                                  cb = std::move(cb)] {
+          if (crashed_) return;
           std::vector<InstallOp> ops;
           EstablishResult result = plan_channel(request, ops);
           if (!result.ok) {
@@ -723,6 +762,7 @@ void MimicController::async_establish(
               id, /*txn=*/1, std::move(ops),
               [this, id, result = std::move(result),
                cb = std::move(cb)](bool committed) mutable {
+                if (crashed_) return;  // true silence: the client times out
                 const auto it = channels_.find(id);
                 const bool alive = it != channels_.end();
                 const bool current =
@@ -731,6 +771,7 @@ void MimicController::async_establish(
                   for (const MFlowPlan& plan : it->second.flows) {
                     release_plan_resources(plan);
                   }
+                  journal_.record_teardown(id);
                   channels_.erase(it);
                   listeners_.erase(id);
                   result = EstablishResult{};
@@ -793,8 +834,10 @@ void MimicController::release_plan_resources(const MFlowPlan& plan) {
 }
 
 void MimicController::teardown(ChannelId id, bool immediate) {
+  if (crashed_) return;
   const auto it = channels_.find(id);
   if (it == channels_.end()) return;
+  journal_.record_teardown(id);
   for (const topo::NodeId sw : it->second.touched_switches) {
     remove_cookie(sw, id, immediate);
   }
@@ -813,8 +856,18 @@ void MimicController::enable_failure_detection() {
   subscribe_port_status();
 }
 
+void MimicController::reroute_default_routing() {
+  if (!default_routing_installed_) return;
+  reroute_stats_ += ctrl::L3RoutingApp::reroute_around(
+      *this, [this](topo::NodeId host) { return cf_label_for(host); },
+      failed_links_);
+}
+
 void MimicController::on_port_status(topo::NodeId sw, topo::PortId port,
                                      bool up) {
+  // A crashed MC hears nothing; resync_failure_view() re-derives the
+  // missed transitions from the PHY at recovery.
+  if (crashed_) return;
   // Map the reporting port back to its link.
   topo::LinkId link = topo::kInvalidLink;
   for (const auto& adj : graph().neighbors(sw)) {
@@ -864,6 +917,7 @@ void MimicController::lose_channel(ChannelId id, const std::string& reason) {
   if (it == channels_.end()) return;
   log_warn("channel %llu lost: %s", static_cast<unsigned long long>(id),
            reason.c_str());
+  journal_.record_teardown(id);
   for (const topo::NodeId sw : it->second.touched_switches) {
     remove_cookie(sw, id, /*immediate=*/false);
   }
@@ -904,10 +958,11 @@ MimicController::RepairOutcome MimicController::repair_channels(
 
     std::vector<InstallOp> ops;
     for (const MFlowPlan& plan : state.flows) {
-      install_flow(id, plan, ops);
+      install_flow(id, plan, ops, next_group_);
     }
     state.touched_switches = touched_switches(ops);
     const std::uint64_t txn = ++state.install_txn;
+    journal_.record_repair(state, next_channel_, next_group_);
     commit_async(id, txn, std::move(ops),
                  [this, id, txn, cause](bool committed) {
                    const auto it = channels_.find(id);
@@ -930,6 +985,7 @@ MimicController::RepairOutcome MimicController::repair_channels(
 }
 
 MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
+  if (crashed_) return {};  // learned from the PHY at recovery
   if (!failed_links_.insert(link).second) return {};  // already known
   // Bump the path engine's failure epoch first: only the cached BFS rows
   // whose shortest-path DAG used the link are dropped, so both the L3
@@ -939,11 +995,7 @@ MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
 
   // Common flows first: re-install the default routing around the failure
   // (fast failover; ECMP absorbs single-link failures in Clos fabrics).
-  if (default_routing_installed_) {
-    ctrl::L3RoutingApp::reroute_around(
-        *this, [this](topo::NodeId host) { return cf_label_for(host); },
-        failed_links_);
-  }
+  reroute_default_routing();
 
   // Which channels cross the failed link?  (Forward and reverse use the
   // same physical links, so checking the forward path suffices.)
@@ -970,19 +1022,23 @@ MimicController::RepairOutcome MimicController::fail_link(topo::LinkId link) {
 }
 
 void MimicController::restore_link(topo::LinkId link) {
+  if (crashed_) return;
   if (failed_links_.erase(link) == 0) return;
   path_engine().link_restored(link);
   // The failure detours must not outlive the failure: re-optimize the
   // common-flow routing against the shrunken failure set, or every future
   // CF keeps paying the detour forever.
-  if (default_routing_installed_) {
-    ctrl::L3RoutingApp::reroute_around(
-        *this, [this](topo::NodeId host) { return cf_label_for(host); },
-        failed_links_);
-  }
+  reroute_default_routing();
 }
 
 MimicController::RepairOutcome MimicController::fail_switch(topo::NodeId sw) {
+  if (crashed_) {
+    // The switch dies whether or not the MC is up: its soft state is gone.
+    // The control-plane reaction waits for recovery (the injector lowered
+    // the incident links in the PHY, so resync_failure_view sees them).
+    switch_at(sw)->table().clear();
+    return {};
+  }
   if (!failed_switches_.insert(sw).second) return {};
   // Every incident link goes down with the switch.
   for (const auto& adj : graph().neighbors(sw)) {
@@ -995,11 +1051,7 @@ MimicController::RepairOutcome MimicController::fail_switch(topo::NodeId sw) {
   // honest about rules that no longer exist anywhere.
   switch_at(sw)->table().clear();
 
-  if (default_routing_installed_) {
-    ctrl::L3RoutingApp::reroute_around(
-        *this, [this](topo::NodeId host) { return cf_label_for(host); },
-        failed_links_);
-  }
+  reroute_default_routing();
 
   // Re-plan every channel that traversed the dead switch (as relay or MN;
   // incident-link checks would miss none, but the node check is direct) or
@@ -1033,6 +1085,7 @@ MimicController::RepairOutcome MimicController::fail_switch(topo::NodeId sw) {
 }
 
 void MimicController::restore_switch(topo::NodeId sw) {
+  if (crashed_) return;  // resync_failure_view re-learns the reboot
   if (failed_switches_.erase(sw) == 0) return;
   for (const auto& adj : graph().neighbors(sw)) {
     // A link is only usable when both of its endpoints are alive.
@@ -1044,11 +1097,7 @@ void MimicController::restore_switch(topo::NodeId sw) {
   // The rebooted switch comes back with an empty table; the reroute
   // re-installs the default routing everywhere, which both repopulates it
   // and drops the detours the failure forced elsewhere.
-  if (default_routing_installed_) {
-    ctrl::L3RoutingApp::reroute_around(
-        *this, [this](topo::NodeId host) { return cf_label_for(host); },
-        failed_links_);
-  }
+  reroute_default_routing();
 }
 
 void MimicController::mark_idle(ChannelId id, bool idle) {
@@ -1075,6 +1124,400 @@ std::size_t MimicController::reclaim_idle(sim::SimTime max_idle) {
     teardown(id, /*immediate=*/false);
   }
   return stale.size();
+}
+
+// --- crash recovery -----------------------------------------------------------
+
+void MimicController::crash() {
+  if (crashed_) return;
+  ++crashes_;
+  crashed_ = true;
+  // Soft state dies with the process.  The journal (stable storage), the
+  // deployment config, client keys, hidden services, the CF label map and
+  // the failure view (re-learned from the NOS at recovery anyway) survive.
+  channels_.clear();
+  listeners_.clear();
+  reserved_endpoints_.clear();
+  registry_.reset_allocations();
+  next_channel_ =
+      (static_cast<ChannelId>(mic_config_.instance_id) << 32) + 1;
+  next_group_ = (mic_config_.instance_id << 24) + 1;
+}
+
+void MimicController::adopt_channel_resources(const ChannelState& state) {
+  auto tuple_of = [](const HopAddresses& hop) {
+    return MTuple{hop.src, hop.dst, hop.sport, hop.dport, hop.mpls};
+  };
+  for (const MFlowPlan& plan : state.flows) {
+    registry_.adopt_flow_id(plan.flow_id);
+    const std::size_t n = plan.mn_positions.size();
+    for (std::size_t j = 1; j < n; ++j) {
+      registry_.adopt_tuples(plan.path[plan.mn_positions[j - 1]],
+                             {tuple_of(plan.forward[j])});
+    }
+    topo::Path rpath(plan.path.rbegin(), plan.path.rend());
+    std::vector<std::size_t> rpositions;
+    for (const std::size_t pos : plan.mn_positions) {
+      rpositions.push_back(plan.path.size() - 1 - pos);
+    }
+    std::sort(rpositions.begin(), rpositions.end());
+    for (std::size_t j = 1; j < n; ++j) {
+      registry_.adopt_tuples(rpath[rpositions[j - 1]],
+                             {tuple_of(plan.reverse[j])});
+    }
+    if (!plan.mn_positions.empty()) {
+      const topo::NodeId first_mn = plan.path[plan.mn_positions[0]];
+      for (const DecoyPlan& decoy : plan.decoys) {
+        registry_.adopt_flow_id(decoy.flow_id);
+        registry_.adopt_tuples(first_mn, {decoy.tuple});
+      }
+    }
+    reserved_endpoints_.insert(endpoint_key(plan.forward[0].src, 0,
+                                            plan.forward[0].dst,
+                                            plan.forward[0].dport));
+    reserved_endpoints_.insert(endpoint_key(plan.forward[n].src,
+                                            plan.forward[n].sport,
+                                            plan.forward[n].dst,
+                                            plan.forward[n].dport));
+  }
+}
+
+std::size_t MimicController::resync_failure_view() {
+  std::size_t transitions = 0;
+
+  // Switches first: a "failed" switch whose every incident link came back
+  // up in the PHY rebooted while the MC was down.
+  std::vector<topo::NodeId> rebooted;
+  for (const topo::NodeId sw : failed_switches_) {
+    bool all_up = true;
+    for (const auto& adj : graph().neighbors(sw)) {
+      if (!network().link_up(adj.link)) {
+        all_up = false;
+        break;
+      }
+    }
+    if (all_up) rebooted.push_back(sw);
+  }
+  std::sort(rebooted.begin(), rebooted.end());
+  for (const topo::NodeId sw : rebooted) {
+    restore_switch(sw);
+    ++transitions;
+  }
+
+  // Links: the PHY is the truth, plus failed-switch incidence (a dead
+  // switch's links are unusable even while their PHY reports up).
+  for (topo::LinkId link = 0;
+       link < static_cast<topo::LinkId>(graph().link_count()); ++link) {
+    const auto [a, b] = graph().link_endpoints(link);
+    const bool want_failed = !network().link_up(link) ||
+                             failed_switches_.contains(a) ||
+                             failed_switches_.contains(b);
+    if (want_failed && !failed_links_.contains(link)) {
+      fail_link(link);
+      ++transitions;
+    } else if (!want_failed && failed_links_.contains(link)) {
+      restore_link(link);
+      ++transitions;
+    }
+  }
+  return transitions;
+}
+
+bool MimicController::channel_path_dead(const ChannelState& state) const {
+  for (const MFlowPlan& plan : state.flows) {
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+      if (failed_links_.contains(
+              graph().link_between(plan.path[i], plan.path[i + 1]))) {
+        return true;
+      }
+    }
+    for (const topo::NodeId node : plan.path) {
+      if (failed_switches_.contains(node)) return true;
+    }
+    for (const DecoyPlan& decoy : plan.decoys) {
+      if (failed_switches_.contains(decoy.next_switch)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MimicController::verify_channel_rules(
+    const ChannelState& state, std::vector<std::string>* violations) {
+  // Regenerate the channel's expected ops with a scratch group allocator:
+  // group ids are re-allocated on every (re)install, so group identity is
+  // compared through the referenced group's type and buckets, never by id.
+  std::uint32_t scratch_group = 1;
+  std::vector<InstallOp> expected;
+  for (const MFlowPlan& plan : state.flows) {
+    install_flow(state.id, plan, expected, scratch_group);
+  }
+
+  struct SwExpect {
+    std::vector<const switchd::FlowRule*> rules;
+    std::vector<const switchd::GroupEntry*> groups;
+  };
+  std::map<topo::NodeId, SwExpect> expect;
+  std::unordered_map<std::uint32_t, const switchd::GroupEntry*>
+      expected_groups;
+  for (const InstallOp& op : expected) {
+    if (const auto* rule = std::get_if<switchd::FlowRule>(&op.payload)) {
+      expect[op.sw].rules.push_back(rule);
+    } else {
+      const auto* group = &std::get<switchd::GroupEntry>(op.payload);
+      expect[op.sw].groups.push_back(group);
+      expected_groups.emplace(group->group_id, group);
+    }
+  }
+
+  const auto note = [violations](std::string message) {
+    if (violations != nullptr) violations->push_back(std::move(message));
+  };
+  const auto tag = [&state](topo::NodeId sw) {
+    return "channel " + std::to_string(state.id) + " @switch " +
+           std::to_string(sw) + ": ";
+  };
+
+  std::size_t checked = 0;
+  for (const auto& [sw, want] : expect) {
+    if (failed_switches_.contains(sw)) {
+      note(tag(sw) + "switch is down");
+      continue;
+    }
+    switchd::DumpFilter filter;
+    filter.cookie = state.id;
+    const switchd::FlowDump dump = switch_at(sw)->dump(filter);
+    checked += dump.rules.size() + dump.groups.size();
+
+    std::unordered_map<std::uint32_t, const switchd::GroupEntry*>
+        actual_groups;
+    for (const switchd::GroupEntry& group : dump.groups) {
+      actual_groups.emplace(group.group_id, &group);
+    }
+    const auto groups_equivalent = [&](std::uint32_t want_id,
+                                       std::uint32_t got_id) {
+      const auto w = expected_groups.find(want_id);
+      const auto g = actual_groups.find(got_id);
+      if (w == expected_groups.end() || g == actual_groups.end()) return false;
+      return w->second->type == g->second->type &&
+             w->second->buckets == g->second->buckets;
+    };
+    const auto actions_equivalent =
+        [&](const std::vector<switchd::Action>& a,
+            const std::vector<switchd::Action>& b) {
+          if (a.size() != b.size()) return false;
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            const auto* ga = std::get_if<switchd::GroupAction>(&a[i]);
+            const auto* gb = std::get_if<switchd::GroupAction>(&b[i]);
+            if ((ga != nullptr) != (gb != nullptr)) return false;
+            if (ga != nullptr) {
+              if (!groups_equivalent(ga->group_id, gb->group_id)) return false;
+            } else if (!(a[i] == b[i])) {
+              return false;
+            }
+          }
+          return true;
+        };
+
+    std::vector<bool> rule_taken(dump.rules.size(), false);
+    for (const switchd::FlowRule* rule : want.rules) {
+      bool found = false;
+      for (std::size_t i = 0; i < dump.rules.size(); ++i) {
+        if (rule_taken[i]) continue;
+        const switchd::FlowRule& got = dump.rules[i];
+        if (got.priority == rule->priority && got.match == rule->match &&
+            actions_equivalent(rule->actions, got.actions)) {
+          rule_taken[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) note(tag(sw) + "expected rule missing");
+    }
+    for (std::size_t i = 0; i < dump.rules.size(); ++i) {
+      if (!rule_taken[i]) note(tag(sw) + "unexpected rule with this cookie");
+    }
+
+    std::vector<bool> group_taken(dump.groups.size(), false);
+    for (const switchd::GroupEntry* group : want.groups) {
+      bool found = false;
+      for (std::size_t i = 0; i < dump.groups.size(); ++i) {
+        if (group_taken[i]) continue;
+        if (dump.groups[i].type == group->type &&
+            dump.groups[i].buckets == group->buckets) {
+          group_taken[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) note(tag(sw) + "expected group missing");
+    }
+    for (std::size_t i = 0; i < dump.groups.size(); ++i) {
+      if (!group_taken[i]) note(tag(sw) + "unexpected group with this cookie");
+    }
+  }
+  return checked;
+}
+
+void MimicController::probe_channel(ChannelId id, ChannelListener listener,
+                                    std::function<void(bool)> on_result) {
+  if (crashed_) return;  // the client's timeout is the answer
+  network().simulator().schedule_in(
+      mic_config_.control_latency,
+      [this, id, listener = std::move(listener),
+       cb = std::move(on_result)]() mutable {
+        if (crashed_) return;
+        const bool alive = channels_.contains(id);
+        if (alive && listener) listeners_[id] = std::move(listener);
+        network().simulator().schedule_in(
+            mic_config_.control_latency,
+            [cb = std::move(cb), alive] { cb(alive); });
+      });
+}
+
+MimicController::RecoveryReport MimicController::recover(
+    const ChannelJournal& journal) {
+  MIC_ASSERT_MSG(crashed_, "recover() requires a preceding crash()");
+  RecoveryReport report;
+  const std::uint64_t lost_before = channels_lost_;
+
+  // 1. Replay the (possibly truncated) log into a consistent image.
+  const JournalImage image = journal.replay();
+
+  // 2. Adopt the image: channels, allocator state, endpoint reservations,
+  // id watermarks.  Every adopted channel's install generation is bumped so
+  // a pre-crash in-flight commit can never match it again.
+  next_channel_ = std::max(next_channel_, image.next_channel);
+  next_group_ = std::max(next_group_, image.next_group);
+  std::map<ChannelId, std::uint64_t> adopted_txn;
+  for (const auto& [id, state] : image.channels) {
+    ChannelState adopted = state;
+    ++adopted.install_txn;
+    adopt_channel_resources(adopted);
+    adopted_txn.emplace(id, adopted.install_txn);
+    channels_.emplace(id, std::move(adopted));
+    ++report.channels_recovered;
+  }
+  registry_.rebuild_free_list();
+
+  // The MC answers again from here on.  Rebuild the durable journal from
+  // the adopted state, so recovering from a harness-truncated copy leaves
+  // journal_ and channels_ agreeing (RC-1's precondition).
+  crashed_ = false;
+  journal_.clear();
+  for (const auto& [id, state] : image.channels) {
+    journal_.record_establish(channels_.at(id), next_channel_, next_group_);
+  }
+
+  // 3. Re-learn PHY transitions missed while down.  This runs the ordinary
+  // failure path, so channels crossing newly-dead links are replanned (or
+  // lost) before the rule diff below looks at them.
+  report.links_resynced = resync_failure_view();
+
+  // 4. Dump every live switch and collect which switches actually hold
+  // entries for which cookie; entries no journaled channel explains --
+  // including survivors of a truncated journal -- are torn down.
+  std::vector<topo::NodeId> fabric_switches = graph().switches();
+  std::sort(fabric_switches.begin(), fabric_switches.end());
+  std::map<std::uint64_t, std::vector<topo::NodeId>> observed;
+  std::map<std::uint64_t, std::size_t> observed_entries;
+  for (const topo::NodeId sw : fabric_switches) {
+    if (failed_switches_.contains(sw)) continue;  // unreachable, empty anyway
+    ++report.switches_resynced;
+    switchd::DumpFilter filter;
+    filter.exclude_cookie = ctrl::kL3Cookie;
+    const switchd::FlowDump dump = switch_at(sw)->dump(filter);
+    const auto record = [&](std::uint64_t cookie) {
+      auto& holders = observed[cookie];
+      if (holders.empty() || holders.back() != sw) holders.push_back(sw);
+      ++observed_entries[cookie];
+    };
+    for (const switchd::FlowRule& rule : dump.rules) record(rule.cookie);
+    for (const switchd::GroupEntry& group : dump.groups) record(group.cookie);
+  }
+  for (const auto& [cookie, holders] : observed) {
+    if (channels_.contains(cookie)) continue;
+    for (const topo::NodeId sw : holders) {
+      remove_cookie(sw, cookie, /*immediate=*/true);
+    }
+    report.orphan_rules_removed += observed_entries.at(cookie);
+  }
+
+  // 5. Keep / reinstall / replan each recovered channel (ascending id, so
+  // the rng_ draws of any replans stay deterministic).
+  for (const auto& [id, txn] : adopted_txn) {
+    const auto it = channels_.find(id);
+    if (it == channels_.end()) continue;  // lost during the failure resync
+    if (it->second.install_txn != txn) {
+      ++report.channels_replanned;  // repaired during the failure resync
+      continue;
+    }
+    ChannelState& state = it->second;
+    if (channel_path_dead(state)) {
+      repair_channels({id}, "recovery");
+      if (channels_.contains(id)) ++report.channels_replanned;
+      continue;
+    }
+
+    // A channel whose rules sit on switches outside its journaled scope
+    // (a truncated journal replayed a pre-repair route) is a mismatch by
+    // construction; otherwise compare rule content switch by switch.
+    bool mismatch = false;
+    std::vector<topo::NodeId> holders;
+    if (const auto obs = observed.find(id); obs != observed.end()) {
+      holders = obs->second;
+      for (const topo::NodeId sw : holders) {
+        if (!std::binary_search(state.touched_switches.begin(),
+                                state.touched_switches.end(), sw)) {
+          mismatch = true;
+          break;
+        }
+      }
+    }
+    if (!mismatch) {
+      std::vector<std::string> violations;
+      verify_channel_rules(state, &violations);
+      mismatch = !violations.empty();
+    }
+    if (!mismatch) {
+      ++report.channels_kept;
+      continue;
+    }
+
+    // Reinstall under a fresh generation through the transactional path,
+    // sweeping the cookie from both the journaled scope and wherever the
+    // dumps actually saw it.
+    std::vector<topo::NodeId> scope = state.touched_switches;
+    scope.insert(scope.end(), holders.begin(), holders.end());
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+    for (const topo::NodeId sw : scope) {
+      remove_cookie(sw, id, /*immediate=*/true);
+    }
+    std::vector<InstallOp> ops;
+    for (const MFlowPlan& plan : state.flows) {
+      install_flow(id, plan, ops, next_group_);
+    }
+    state.touched_switches = touched_switches(ops);
+    const std::uint64_t new_txn = ++state.install_txn;
+    journal_.record_repair(state, next_channel_, next_group_);
+    commit_async(id, new_txn, std::move(ops),
+                 [this, id, new_txn](bool committed) {
+                   const auto cit = channels_.find(id);
+                   if (cit == channels_.end() ||
+                       cit->second.install_txn != new_txn) {
+                     return;  // superseded by a later repair or teardown
+                   }
+                   if (!committed) {
+                     lose_channel(
+                         id, "recovery: rule re-install failed after retries");
+                   }
+                 });
+    ++report.channels_reinstalled;
+  }
+
+  report.channels_lost = channels_lost_ - lost_before;
+  last_recovery_ = report;
+  return report;
 }
 
 const ChannelState* MimicController::channel(ChannelId id) const {

@@ -14,6 +14,7 @@
 
 #include "core/address_restrictions.hpp"
 #include "core/channel.hpp"
+#include "core/channel_journal.hpp"
 #include "core/maga_registry.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/l3_routing.hpp"
@@ -36,6 +37,11 @@ struct MicConfig {
   /// jitter): attempt k waits base * 2^(k-1), clamped to the cap.
   sim::SimTime install_backoff_base = sim::microseconds(500);
   sim::SimTime install_backoff_cap = sim::milliseconds(8);
+
+  // --- crash recovery ---------------------------------------------------------
+  /// Compact the write-ahead channel journal whenever it grows past this
+  /// many records (0 = never compact).
+  std::size_t journal_compaction_threshold = 1024;
 
   // --- distributed-controller deployment (paper Sec VI-C) --------------------
   /// Distinguishes this controller instance: channel IDs, rule cookies and
@@ -91,6 +97,14 @@ class MimicController : public ctrl::Controller {
                        std::uint64_t message_counter,
                        std::function<void(EstablishResult)> on_result);
 
+  /// Establish a burst of channels in one call.  Requests are grouped by
+  /// destination so one warm PathEngine row serves every channel headed
+  /// there before the planner moves on -- under an LRU-capped row cache an
+  /// interleaved burst would otherwise recompute rows it just evicted.
+  /// Results come back in request order.
+  std::vector<EstablishResult> establish_batch(
+      const std::vector<EstablishRequest>& requests);
+
   void teardown(ChannelId id, bool immediate = true);
 
   // --- failure handling (extension; the SDN controller's natural job) --------
@@ -143,14 +157,75 @@ class MimicController : public ctrl::Controller {
     return failed_switches_;
   }
 
-  // --- endpoint notification ------------------------------------------------
-
   enum class ChannelEvent : std::uint8_t {
     kRepaired,  // re-routed around a failure; entry addresses unchanged
     kLost,      // unrepairable or reclaimed; the channel no longer exists
   };
   using ChannelListener =
       std::function<void(ChannelEvent, const std::string& reason)>;
+
+  // --- crash recovery (journal + switch resync) -------------------------------
+  //
+  // The MC is the one node that knows every channel's path, MNs and
+  // m-addresses; a restart must not strand the rewrite rules it installed.
+  // Every establish/repair/teardown is committed to a write-ahead channel
+  // journal first; `crash()` drops all soft state (channels, listeners,
+  // endpoint reservations, MAGA allocations) while the switches keep
+  // forwarding with the rules already installed; `recover(journal)`
+  // replays the log, re-adopts the allocators, dumps every switch's flow
+  // table and three-way-diffs it against the replayed image: verified
+  // rules are kept, journaled-but-missing (or mismatched) rules are
+  // re-issued through the transactional install path, and unknown cookies
+  // -- including those a truncated journal can no longer explain -- are
+  // torn down.  While crashed, every control-plane entry point is silent
+  // (requests are dropped, not refused), which is what the client-side
+  // timeout machinery detects.
+
+  struct RecoveryReport {
+    std::size_t channels_recovered = 0;    // adopted from the journal
+    std::size_t channels_kept = 0;         // rules verified in place
+    std::size_t channels_reinstalled = 0;  // missing/mismatched; re-issued
+    std::size_t channels_replanned = 0;    // path dead; routed via repair
+    std::size_t channels_lost = 0;         // replan failed; torn down
+    std::size_t orphan_rules_removed = 0;  // entries with unknown cookies
+    std::size_t switches_resynced = 0;     // dump RPCs issued
+    std::size_t links_resynced = 0;        // PHY transitions missed while down
+  };
+
+  /// Simulate an MC process crash: all soft state is lost, the journal
+  /// (stable storage) and the deployment config survive, and every control
+  /// entry point goes silent until recover().
+  void crash();
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Restart from a journal (normally `journal()`, possibly truncated by
+  /// the harness to model a crash mid-commit).  Replays the log, re-adopts
+  /// ids/tuples/endpoints, resyncs the failure view against the PHY, and
+  /// reconciles every switch's flow table (keep / reinstall / delete).
+  RecoveryReport recover(const ChannelJournal& journal);
+
+  const ChannelJournal& journal() const noexcept { return journal_; }
+  std::uint64_t crashes() const noexcept { return crashes_; }
+  const RecoveryReport& last_recovery() const noexcept {
+    return last_recovery_;
+  }
+
+  /// Control-channel liveness probe: answers (after a control round trip)
+  /// whether `id` is still a live channel, re-registering `listener` on
+  /// the way -- how a surviving client re-attaches after an MC restart
+  /// wiped its subscription.  Silently dropped while crashed.
+  void probe_channel(ChannelId id, ChannelListener listener,
+                     std::function<void(bool alive)> on_result);
+
+  /// RC-1 ground truth: verify that every switch this channel touches
+  /// holds exactly its expected rule set (content-compared; SELECT/ALL
+  /// group references are compared through their buckets, since group ids
+  /// are re-allocated on reinstall).  Appends human-readable violations;
+  /// returns the number of table entries checked.
+  std::size_t verify_channel_rules(const ChannelState& state,
+                                   std::vector<std::string>* violations);
+
+  // --- endpoint notification ------------------------------------------------
 
   /// Register the endpoint-side listener for one channel (the client
   /// library does this).  Events are delivered after the control-channel
@@ -180,6 +255,11 @@ class MimicController : public ctrl::Controller {
   std::uint64_t channels_lost() const noexcept { return channels_lost_; }
   std::uint64_t channels_repaired() const noexcept {
     return channels_repaired_;
+  }
+  /// Cumulative selective-reroute counters of the L3 routing app
+  /// (TableStats-style: scanned vs actually reinstalled switches).
+  const ctrl::RerouteStats& reroute_stats() const noexcept {
+    return reroute_stats_;
   }
 
   MagaRegistry& registry() noexcept { return registry_; }
@@ -226,15 +306,20 @@ class MimicController : public ctrl::Controller {
     topo::NodeId sw;
     std::variant<switchd::FlowRule, switchd::GroupEntry> payload;
   };
+  /// `group_alloc` is the group-id allocator: the live install paths pass
+  /// next_group_, verification passes a scratch counter (group identity is
+  /// compared through bucket content, never by id).
   void install_flow(ChannelId id, const MFlowPlan& plan,
-                    std::vector<InstallOp>& ops);
+                    std::vector<InstallOp>& ops,
+                    std::uint32_t& group_alloc) const;
   PlanContext context_of(const ChannelState& state) const;
   void install_direction(ChannelId id, const MFlowPlan& plan,
                          const topo::Path& path,
                          const std::vector<std::size_t>& mn_positions,
                          const std::vector<HopAddresses>& hops,
                          const std::vector<DecoyPlan>& decoys,
-                         std::vector<InstallOp>& ops);
+                         std::vector<InstallOp>& ops,
+                         std::uint32_t& group_alloc) const;
   /// Nodes an op list touches (deduplicated) -- the rollback scope.
   std::vector<topo::NodeId> touched_switches(
       const std::vector<InstallOp>& ops) const;
@@ -275,6 +360,21 @@ class MimicController : public ctrl::Controller {
   RepairOutcome repair_channels(const std::vector<ChannelId>& affected,
                                 const std::string& cause);
 
+  /// Re-adopt one replayed channel's allocator state: flow ids, tuple
+  /// fingerprints at every MN, decoys, and the two endpoint reservations.
+  void adopt_channel_resources(const ChannelState& state);
+  /// Align the MC's failure view with the current PHY state plus failed-
+  /// switch incidence (port-status events missed while crashed); returns
+  /// the number of link transitions learned.
+  std::size_t resync_failure_view();
+  /// True when any flow path crosses a failed link/switch (including the
+  /// decoy next hops) -- such a recovered channel must be replanned, not
+  /// merely reinstalled.
+  bool channel_path_dead(const ChannelState& state) const;
+  /// Run the L3 selective reroute and fold its counters into
+  /// reroute_stats_.
+  void reroute_default_routing();
+
   static std::uint64_t endpoint_key(net::Ipv4 a, net::L4Port pa, net::Ipv4 b,
                                     net::L4Port pb) {
     std::uint64_t state = (static_cast<std::uint64_t>(a.value) << 32) |
@@ -308,6 +408,14 @@ class MimicController : public ctrl::Controller {
   std::uint64_t install_retries_ = 0;
   std::uint64_t channels_lost_ = 0;
   std::uint64_t channels_repaired_ = 0;
+
+  /// Write-ahead channel journal (the in-memory stand-in for stable
+  /// storage); survives crash() by definition.
+  ChannelJournal journal_;
+  bool crashed_ = false;
+  std::uint64_t crashes_ = 0;
+  RecoveryReport last_recovery_;
+  ctrl::RerouteStats reroute_stats_;
 };
 
 }  // namespace mic::core

@@ -25,6 +25,7 @@ Controller::Controller(net::Network& network, HostAddressing addressing,
       addressing_(std::move(addressing)),
       config_(config),
       paths_(network.graph()) {
+  paths_.set_max_rows(config_.path_cache_max_rows);
   if (const unsigned threads = config_.effective_warmup_threads();
       threads > 0) {
     paths_.warm_up(network.graph().hosts(), threads);

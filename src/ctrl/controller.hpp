@@ -71,6 +71,13 @@ struct ControllerConfig {
   /// the *entire* test suite constructs every controller through the
   /// multi-threaded warm-up path; bench configs set the field directly).
   unsigned effective_warmup_threads() const;
+
+  /// Cap on the path engine's cached per-destination BFS rows
+  /// (0 = unbounded).  Rows are O(network size) each, so at million-host
+  /// scale the lazy cache needs a bound; when full, the least-recently-
+  /// queried row is evicted (and simply recomputed on the next query --
+  /// correctness is unaffected by PE-1).
+  std::size_t path_cache_max_rows = 0;
 };
 
 class Controller {
@@ -159,6 +166,13 @@ class Controller {
     return rules_installed_;
   }
 
+  /// Per-switch signatures of the last installed L3 rule set.  Owned by
+  /// L3RoutingApp: install() fills it, reroute_around() diffs against it
+  /// to reinstall only the switches whose next-hop sets changed.
+  std::unordered_map<topo::NodeId, std::uint64_t>& l3_signatures() noexcept {
+    return l3_signatures_;
+  }
+
  private:
   /// Barrier timeout remaining after the request leg already spent one
   /// southbound latency.
@@ -182,6 +196,7 @@ class Controller {
   HostAddressing addressing_;
   ControllerConfig config_;
   topo::PathEngine paths_;
+  std::unordered_map<topo::NodeId, std::uint64_t> l3_signatures_;
 
   // Install accounting and the chaos drop knob.  Installs are issued from
   // the single-threaded event loop today, but introspection (benchmarks,

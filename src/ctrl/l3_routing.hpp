@@ -25,6 +25,26 @@ inline constexpr std::uint16_t kPriorityTransit = 20;
 
 inline constexpr std::uint64_t kL3Cookie = 0x4c335254ULL;  // "L3RT"
 
+/// TableStats-style counters for selective reroute: how many switches a
+/// reroute scanned vs how many actually had their rules churned.
+struct RerouteStats {
+  std::uint64_t reroutes = 0;             // reroute_around invocations
+  std::uint64_t switches_scanned = 0;
+  std::uint64_t switches_reinstalled = 0;  // next-hop signature changed
+  std::uint64_t switches_skipped = 0;      // signature unchanged; untouched
+  std::uint64_t rules_installed = 0;       // rules + groups re-issued
+
+  RerouteStats& operator+=(const RerouteStats& other) noexcept {
+    reroutes += other.reroutes;
+    switches_scanned += other.switches_scanned;
+    switches_reinstalled += other.switches_reinstalled;
+    switches_skipped += other.switches_skipped;
+    rules_installed += other.rules_installed;
+    return *this;
+  }
+  bool operator==(const RerouteStats&) const noexcept = default;
+};
+
 class L3RoutingApp {
  public:
   /// Supplies the CF label to tag a common flow entering at `ingress_host`.
@@ -45,13 +65,16 @@ class L3RoutingApp {
   static void install(Controller& controller,
                       CfLabelPolicy policy = fixed_label_policy);
 
-  /// Fast failover for common flows: drop the whole L3 rule set and
-  /// reinstall it with next-hop candidates adjacent to a failed link
-  /// excluded.  Multi-hop avoidance is not attempted (equal-cost multipath
-  /// absorbs single-link failures in Clos fabrics); destinations that
-  /// become locally unreachable are skipped.
-  static void reroute_around(Controller& controller, CfLabelPolicy policy,
-                             const std::unordered_set<topo::LinkId>& failed);
+  /// Fast failover for common flows: recompute every switch's next-hop
+  /// signature under the new failure set and reinstall rules *only* on the
+  /// switches whose signature changed (or whose table lost its L3 rules,
+  /// e.g. after a switch reboot) -- data-plane churn tracks the failure's
+  /// blast radius, not the fabric size.  Multi-hop avoidance is not
+  /// attempted (equal-cost multipath absorbs single-link failures in Clos
+  /// fabrics); destinations that become locally unreachable are skipped.
+  static RerouteStats reroute_around(
+      Controller& controller, CfLabelPolicy policy,
+      const std::unordered_set<topo::LinkId>& failed);
 };
 
 }  // namespace mic::ctrl

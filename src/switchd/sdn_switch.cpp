@@ -63,6 +63,18 @@ bool SdnSwitch::try_install_group(GroupEntry group) {
   return true;
 }
 
+FlowDump SdnSwitch::dump(const DumpFilter& filter) const {
+  ++dumps_served_;
+  FlowDump out;
+  for (const FlowRule& rule : table_.rules()) {
+    if (filter.admits(rule.cookie)) out.rules.push_back(rule);
+  }
+  for (const GroupEntry& group : table_.groups()) {
+    if (filter.admits(group.cookie)) out.groups.push_back(group);
+  }
+  return out;
+}
+
 void SdnSwitch::apply_actions(const std::vector<Action>& actions,
                               net::Packet packet, topo::PortId in_port,
                               bool allow_group) {

@@ -8,12 +8,34 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <vector>
 
 #include "crypto/cost_model.hpp"
 #include "net/network.hpp"
 #include "switchd/flow_table.hpp"
 
 namespace mic::switchd {
+
+/// Cookie filter for the flow-dump RPC (the OFPFF cookie/cookie_mask
+/// subset MIC needs).  With `cookie` set, only entries stamped with it;
+/// with `exclude_cookie` set, everything else.  Both unset dumps all.
+struct DumpFilter {
+  std::optional<std::uint64_t> cookie;
+  std::optional<std::uint64_t> exclude_cookie;
+
+  bool admits(std::uint64_t entry_cookie) const noexcept {
+    if (cookie && entry_cookie != *cookie) return false;
+    if (exclude_cookie && entry_cookie == *exclude_cookie) return false;
+    return true;
+  }
+};
+
+/// One switch's answer to a flow/group stats request.
+struct FlowDump {
+  std::vector<FlowRule> rules;
+  std::vector<GroupEntry> groups;
+};
 
 class SdnSwitch : public net::Device {
  public:
@@ -75,6 +97,14 @@ class SdnSwitch : public net::Device {
     return installs_rejected_;
   }
 
+  /// Flow/group table dump (OFPT_FLOW_STATS_REQUEST + OFPT_GROUP_DESC
+  /// analog) with cookie filtering — the primitive a recovering controller
+  /// uses to resync its journal against what is actually installed.
+  /// Entries are returned in the table's stable iteration order.
+  FlowDump dump(const DumpFilter& filter = {}) const;
+
+  std::uint64_t dumps_served() const noexcept { return dumps_served_; }
+
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -98,6 +128,7 @@ class SdnSwitch : public net::Device {
   double install_fault_probability_ = 0.0;
   Rng install_fault_rng_{0};
   std::uint64_t installs_rejected_ = 0;
+  mutable std::uint64_t dumps_served_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
 };

@@ -55,39 +55,69 @@ PathEngine::Row PathEngine::compute_row(NodeId dst) const {
   return row;
 }
 
-const PathEngine::Row& PathEngine::row(NodeId dst) const {
+void PathEngine::evict_over_cap(NodeId keep) const {
+  if (max_rows_ == 0) return;
+  while (rows_.size() > max_rows_) {
+    auto victim = rows_.end();
+    for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == rows_.end() ||
+          it->second->last_used < victim->second->last_used ||
+          (it->second->last_used == victim->second->last_used &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    if (victim == rows_.end()) return;  // only `keep` is cached
+    rows_.erase(victim);
+    ++stats_.rows_evicted;
+  }
+}
+
+void PathEngine::set_max_rows(std::size_t max) {
+  MutexLock lock(rows_mu_);
+  max_rows_ = max;
+  evict_over_cap(kInvalidNode);
+}
+
+std::shared_ptr<const PathEngine::Row> PathEngine::row(NodeId dst) const {
   MIC_ASSERT(dst < n_);
   {
     MutexLock lock(rows_mu_);
     const auto it = rows_.find(dst);
     if (it != rows_.end()) {
       ++stats_.row_hits;
+      it->second->last_used = ++use_clock_;
       return it->second;
     }
   }
   // Miss: BFS outside the lock so concurrent queries for other rows make
   // progress.  Two threads missing the same destination both compute it;
   // PE-1 makes the results identical, so first-emplace-wins is safe and
-  // the loser's work is merely wasted.  References into the map stay
-  // stable under insertion, so handing them out unlocked is sound (only
-  // the event-loop-exclusive invalidation ever erases).
-  Row fresh = compute_row(dst);
+  // the loser's work is merely wasted.  Rows live behind shared_ptrs, so
+  // handing them out unlocked is sound even when the LRU cap (or the
+  // event-loop-exclusive invalidation) erases the map entry underneath a
+  // reader.
+  auto fresh = std::make_shared<Row>(compute_row(dst));
   MutexLock lock(rows_mu_);
   const auto [it, inserted] = rows_.emplace(dst, std::move(fresh));
   inserted ? ++stats_.rows_computed : ++stats_.row_hits;
-  return it->second;
+  it->second->last_used = ++use_clock_;
+  auto result = it->second;
+  if (inserted) evict_over_cap(dst);
+  return result;
 }
 
 Path PathEngine::sample_shortest_path(NodeId src, NodeId dst,
                                       Rng& rng) const {
-  const Row& r = row(dst);
-  MIC_ASSERT(r.dist[src] != kUnreachable);
+  const auto r = row(dst);
+  MIC_ASSERT(r->dist[src] != kUnreachable);
   Path path;
-  path.reserve(r.dist[src] + 1);
+  path.reserve(r->dist[src] + 1);
   NodeId cur = src;
   path.push_back(cur);
   while (cur != dst) {
-    const auto nexts = r.next_of(cur);
+    const auto nexts = r->next_of(cur);
     MIC_ASSERT(!nexts.empty());
     cur = nexts[rng.below(nexts.size())];
     path.push_back(cur);
@@ -116,7 +146,8 @@ std::vector<Path> PathEngine::enumerate_shortest_paths(
   std::vector<Path> out;
   if (limit == 0 || !reachable(src, dst)) return out;
   Path prefix;
-  enumerate_rec(row(dst), src, dst, prefix, out, limit);
+  const auto r = row(dst);  // hold the row across the recursion
+  enumerate_rec(*r, src, dst, prefix, out, limit);
   return out;
 }
 
@@ -171,11 +202,11 @@ void PathEngine::invalidate_rows_touching(LinkId link) {
   const auto [a, b] = graph_.link_endpoints(link);
   const std::uint32_t epoch = epoch_.load(std::memory_order_relaxed);
   for (auto it = rows_.begin(); it != rows_.end();) {
-    if (row_uses_link(it->second, it->first, a, b)) {
+    if (row_uses_link(*it->second, it->first, a, b)) {
       ++stats_.rows_invalidated;
       it = rows_.erase(it);
     } else {
-      it->second.epoch = epoch;
+      it->second->epoch = epoch;
       ++stats_.rows_retained;
       ++it;
     }
@@ -247,22 +278,28 @@ void PathEngine::warm_up(const std::vector<NodeId>& dsts, unsigned threads) {
   for (std::size_t i = 0; i < missing.size(); ++i) {
     // A concurrent query may have raced a row in; emplace keeps the
     // incumbent (identical by PE-1) and we only count rows we inserted.
-    if (rows_.emplace(missing[i], std::move(computed[i])).second) ++merged;
+    const auto [it, inserted] = rows_.emplace(
+        missing[i], std::make_shared<Row>(std::move(computed[i])));
+    if (inserted) {
+      it->second->last_used = ++use_clock_;  // ascending-dst stamp order
+      ++merged;
+    }
   }
   stats_.rows_computed += merged;
+  evict_over_cap(kInvalidNode);  // warm-up past the cap evicts oldest
 }
 
 std::size_t PathEngine::self_check(std::vector<std::string>& violations) const {
   MutexLock lock(rows_mu_);
   for (const auto& [dst, cached] : rows_) {
     const Row fresh = compute_row(dst);
-    if (cached.dist == fresh.dist && cached.offsets == fresh.offsets &&
-        cached.nexts == fresh.nexts) {
+    if (cached->dist == fresh.dist && cached->offsets == fresh.offsets &&
+        cached->nexts == fresh.nexts) {
       continue;
     }
     std::ostringstream out;
     out << "row " << dst << ": cached contents differ from a fresh BFS"
-        << " (epoch " << cached.epoch << ", engine epoch "
+        << " (epoch " << cached->epoch << ", engine epoch "
         << epoch_.load(std::memory_order_relaxed) << ")";
     violations.push_back(out.str());
   }
@@ -275,7 +312,7 @@ bool PathEngine::debug_corrupt_cached_row(NodeId dst) {
   if (it == rows_.end()) return false;
   // Flip the destination's own distance (always 0 in a healthy row) so the
   // corruption is unambiguous and cheap to hit.
-  it->second.dist[dst] = it->second.dist[dst] + 1;
+  it->second->dist[dst] = it->second->dist[dst] + 1;
   return true;
 }
 

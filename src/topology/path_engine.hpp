@@ -33,8 +33,9 @@
 // Thread model.  The row cache and its stats are guarded by rows_mu_, so
 // *queries* (distance / sampling / enumeration, and warm_up itself) are
 // safe from any number of concurrent threads: PE-1 makes duplicated misses
-// converge to identical rows, and unordered_map references are stable
-// under insertion.  *Mutation* of the failure set (link_failed /
+// converge to identical rows, and rows are handed out as shared_ptrs so
+// LRU eviction (set_max_rows) cannot invalidate a row a concurrent reader
+// is still walking.  *Mutation* of the failure set (link_failed /
 // link_restored / set_failed_links) is event-loop-only and must be
 // externally serialized against all queries -- it erases rows that
 // concurrent readers could be holding references into.  The lock
@@ -47,6 +48,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -66,6 +68,7 @@ struct PathEngineStats {
   std::uint64_t row_hits = 0;         // queries served from the cache
   std::uint64_t rows_invalidated = 0; // rows dropped by failure epochs
   std::uint64_t rows_retained = 0;    // rows that survived an epoch bump
+  std::uint64_t rows_evicted = 0;     // rows dropped by the LRU cap
 };
 
 class PathEngine {
@@ -78,7 +81,7 @@ class PathEngine {
   /// unreachable.  Computes and caches the dst row on first use.
   std::uint32_t distance(NodeId src, NodeId dst) const
       MIC_EXCLUDES(rows_mu_) {
-    return row(dst).dist[src];
+    return row(dst)->dist[src];
   }
 
   bool reachable(NodeId src, NodeId dst) const MIC_EXCLUDES(rows_mu_) {
@@ -133,6 +136,20 @@ class PathEngine {
     return failed_;
   }
 
+  /// Cap the row cache at `max` entries (0 = unbounded, the default).
+  /// When a fresh row would push the cache over the cap, the
+  /// least-recently-queried row is evicted -- never the one just
+  /// inserted -- with ties broken toward the smallest destination id so
+  /// eviction order is deterministic (PE-1 makes recomputation safe: an
+  /// evicted row costs one BFS on its next query, nothing else).
+  /// Lowering the cap below the current cache size evicts immediately.
+  void set_max_rows(std::size_t max) MIC_EXCLUDES(rows_mu_);
+
+  std::size_t max_rows() const MIC_EXCLUDES(rows_mu_) {
+    MutexLock lock(rows_mu_);
+    return max_rows_;
+  }
+
   /// Monotone counter, bumped by every link_failed()/link_restored().
   std::uint32_t failure_epoch() const noexcept {
     return epoch_.load(std::memory_order_relaxed);
@@ -179,6 +196,7 @@ class PathEngine {
   /// graph's deterministic adjacency order.
   struct Row {
     std::uint32_t epoch = 0;
+    std::uint64_t last_used = 0;         // LRU stamp; written under rows_mu_
     std::vector<std::uint32_t> dist;     // dist[x] = hops x -> dst
     std::vector<std::uint32_t> offsets;  // CSR offsets, size n + 1
     std::vector<NodeId> nexts;           // flat successor buffer
@@ -191,7 +209,9 @@ class PathEngine {
   /// Pure function of (graph_, failed_, dst) -- touches no guarded state,
   /// so warm-up workers may run it without the lock.
   Row compute_row(NodeId dst) const;
-  const Row& row(NodeId dst) const MIC_EXCLUDES(rows_mu_);
+  /// Rows are handed out as shared_ptrs so the LRU cap can evict a map
+  /// entry while a concurrent query still walks the row it fetched.
+  std::shared_ptr<const Row> row(NodeId dst) const MIC_EXCLUDES(rows_mu_);
 
   /// Does dropping or restoring the link (a, b) change this row?  Only if
   /// a path toward `dst` can cross it: the endpoint nearer dst (or the
@@ -210,6 +230,11 @@ class PathEngine {
 
   void invalidate_rows_touching(LinkId link) MIC_REQUIRES(rows_mu_);
 
+  /// Evict least-recently-queried rows until the cache respects max_rows_;
+  /// never evicts `keep` (the row the caller just inserted and is about to
+  /// hand out).  Pass kInvalidNode to protect nothing.
+  void evict_over_cap(NodeId keep) const MIC_REQUIRES(rows_mu_);
+
   void enumerate_rec(const Row& row, NodeId cur, NodeId dst, Path& prefix,
                      std::vector<Path>& out, std::size_t limit) const;
 
@@ -227,8 +252,11 @@ class PathEngine {
   // Row cache + stats, guarded for concurrent queries and warm-up.
   // mutable so const queries can memoize.
   mutable mic::Mutex rows_mu_;
-  mutable std::unordered_map<NodeId, Row> rows_ MIC_GUARDED_BY(rows_mu_);
+  mutable std::unordered_map<NodeId, std::shared_ptr<Row>> rows_
+      MIC_GUARDED_BY(rows_mu_);
   mutable PathEngineStats stats_ MIC_GUARDED_BY(rows_mu_);
+  std::size_t max_rows_ MIC_GUARDED_BY(rows_mu_) = 0;  // 0 = unbounded
+  mutable std::uint64_t use_clock_ MIC_GUARDED_BY(rows_mu_) = 0;
 };
 
 }  // namespace mic::topo

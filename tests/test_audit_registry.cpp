@@ -1,5 +1,5 @@
 // The unified invariant-audit registry (src/core/audit_registry.hpp): one
-// run_all(fabric) checkpoint covering FT-1, CA-1, PE-1 and FD-1.  The
+// run_all(fabric) checkpoint covering FT-1, CA-1, PE-1, FD-1 and RC-1.  The
 // negative tests deliberately violate each invariant and assert the
 // registry attributes the failure to the *right* identifier -- an audit
 // that fires on the wrong check (or on none) is worse than no audit.
@@ -36,23 +36,27 @@ struct AuditBed {
   ChannelId channel = 0;
 };
 
-TEST(AuditRegistry, RunsAllFourChecksCleanOnHealthyFabric) {
+TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   AuditBed bed;
   const audit::RunReport report = audit::run_all(bed.fabric);
   EXPECT_TRUE(report.ok) << report.first_violation();
   EXPECT_EQ(report.first_violation(), "");
 
   const auto ids = audit::Registry::instance().ids();
-  ASSERT_EQ(ids.size(), 4u);
+  ASSERT_EQ(ids.size(), 5u);
   EXPECT_EQ(ids[0], "FT-1");
   EXPECT_EQ(ids[1], "CA-1");
   EXPECT_EQ(ids[2], "PE-1");
   EXPECT_EQ(ids[3], "FD-1");
+  EXPECT_EQ(ids[4], "RC-1");
 
   // Every check walked real state.
   EXPECT_GT(report.check("FT-1").items_checked, 0u);
   EXPECT_GT(report.check("CA-1").items_checked, 0u);
   EXPECT_GT(report.check("FD-1").items_checked, 0u);
+  // RC-1 re-verified the live channel's rules against the journal.
+  EXPECT_GT(report.check("RC-1").items_checked, 0u);
+  EXPECT_EQ(report.check("RC-1").metric("journaled_channels"), 1u);
   // The live channel's m-flow rules surface through the FD-1 metric the
   // chaos tests assert on.
   EXPECT_GT(report.check("FD-1").metric("mflow_rules"), 0u);

@@ -475,6 +475,161 @@ TEST(ChaosSoak, BCube) {
   }
 }
 
+// --- MC-crash chaos soak ------------------------------------------------------
+
+struct CrashChaosOutcome {
+  std::uint64_t received = 0;
+  std::size_t alive = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t silences = 0;
+  int reestablishments = 0;
+  std::size_t crashes = 0;
+  std::size_t recovered = 0;
+  std::size_t kept = 0;
+  std::size_t reinstalled = 0;
+  std::size_t replanned = 0;
+  std::size_t orphans = 0;
+
+  bool operator==(const CrashChaosOutcome&) const = default;
+};
+
+/// Chaos with the controller itself as a casualty: the full fault mix plus
+/// MC crash/recover cycles (optionally recovering from a tail-truncated
+/// journal).  Clients run the survival machinery -- establishment timeout,
+/// heartbeat, auto re-establishment -- so the run is bounded-time rather
+/// than run-to-quiescence (a heartbeat never lets the event queue drain)
+/// until the final close.
+CrashChaosOutcome run_mc_crash_chaos(Fabric& fabric, std::uint64_t seed,
+                                     int truncate_records) {
+  MicServer server(fabric.host(12), 7000, fabric.rng());
+  std::uint64_t received = 0;
+  server.set_on_channel([&](core::MicServerChannel& channel) {
+    channel.set_on_data(
+        [&](const transport::ChunkView& view) { received += view.length; });
+  });
+
+  const std::vector<std::size_t> client_idx = {0, 3, 5, 9};
+  std::vector<std::unique_ptr<MicChannel>> clients;
+  for (std::size_t i = 0; i < client_idx.size(); ++i) {
+    MicChannelOptions o;
+    o.responder_ip = fabric.ip(12);
+    o.responder_port = 7000;
+    o.flow_count = 1 + static_cast<int>(i % 2);
+    o.auto_reestablish = true;
+    o.control_timeout = sim::milliseconds(10);
+    o.control_retry_limit = 20;
+    o.heartbeat_interval = sim::milliseconds(2);
+    clients.push_back(std::make_unique<MicChannel>(
+        fabric.host(client_idx[i]), fabric.mc(), o, fabric.rng()));
+  }
+  auto run_for = [&fabric](sim::SimTime dt) {
+    fabric.simulator().run_until(fabric.simulator().now() + dt);
+  };
+  run_for(sim::milliseconds(30));
+  for (const auto& client : clients) {
+    EXPECT_TRUE(client->ready());
+  }
+
+  constexpr std::uint64_t kInitial = 256 * 1024;
+  for (const auto& client : clients) {
+    client->send(transport::Chunk::virtual_bytes(kInitial));
+  }
+
+  FaultInjectorOptions fo;
+  fo.seed = seed;
+  fo.mc_crashes = 2;
+  fo.mc_crash_truncate_records = truncate_records;
+  FaultInjector injector(fabric.network(), fabric.mc(), fo);
+  injector.arm();
+  // Window + outages + client backoffs, with slack: every fault healed,
+  // every recovery settled, every surviving client re-attached.
+  run_for(sim::milliseconds(400));
+
+  EXPECT_GE(injector.mc_crashes_fired(), 1u);
+  EXPECT_FALSE(fabric.mc().crashed());
+  EXPECT_TRUE(fabric.mc().failed_links().empty());
+  EXPECT_TRUE(fabric.mc().failed_switches().empty());
+
+  // Zero orphan rules (FD-1) and journal/switch agreement (RC-1) after
+  // every crash the schedule threw at us.
+  const audit::RunReport report = audit::run_all(fabric.mc());
+  EXPECT_TRUE(report.ok) << report.first_violation();
+
+  // Every client that thinks it is up really is: the heartbeat has had
+  // ample time to expose zombies, so a ready client maps to a live MC
+  // channel and still delivers byte-for-byte.
+  constexpr std::uint64_t kProbe = 16 * 1024;
+  const std::uint64_t before = received;
+  std::uint64_t expected = 0;
+  CrashChaosOutcome out;
+  for (const auto& client : clients) {
+    if (client->failed() || !client->ready()) continue;
+    EXPECT_NE(fabric.mc().channel(client->id()), nullptr);
+    client->send(transport::Chunk::virtual_bytes(kProbe));
+    expected += kProbe;
+    ++out.alive;
+  }
+  run_for(sim::milliseconds(100));
+  EXPECT_EQ(received - before, expected);
+
+  out.received = received;
+  out.lost = fabric.mc().channels_lost();
+  out.repaired = fabric.mc().channels_repaired();
+  out.crashes = injector.mc_crashes_fired();
+  for (const auto& client : clients) {
+    out.silences += client->controller_silences();
+    out.reestablishments += client->reestablish_attempts();
+  }
+  for (const auto& recovery : injector.recoveries()) {
+    out.recovered += recovery.channels_recovered;
+    out.kept += recovery.channels_kept;
+    out.reinstalled += recovery.channels_reinstalled;
+    out.replanned += recovery.channels_replanned;
+    out.orphans += recovery.orphan_rules_removed;
+  }
+
+  // Closing the clients stops the heartbeats; the simulator must then
+  // drain completely (no stray timers, no immortal retransmissions).
+  for (const auto& client : clients) client->close();
+  fabric.simulator().run_until();
+  EXPECT_TRUE(fabric.simulator().idle());
+  EXPECT_TRUE(audit::run_all(fabric.mc()).ok);
+  return out;
+}
+
+TEST(McCrashSoak, FatTree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FabricOptions fo;
+    fo.seed = 400 + seed;
+    Fabric fabric(fo);
+    run_mc_crash_chaos(fabric, seed, /*truncate_records=*/0);
+  }
+}
+
+TEST(McCrashSoak, TruncatedJournal) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FabricOptions fo;
+    fo.seed = 500 + seed;
+    Fabric fabric(fo);
+    run_mc_crash_chaos(fabric, seed, /*truncate_records=*/2);
+  }
+}
+
+TEST(McCrashSoak, SameSeedSameOutcome) {
+  auto once = [] {
+    FabricOptions fo;
+    fo.seed = 509;
+    Fabric fabric(fo);
+    return run_mc_crash_chaos(fabric, 21, /*truncate_records=*/1);
+  };
+  const CrashChaosOutcome first = once();
+  const CrashChaosOutcome second = once();
+  EXPECT_EQ(first, second);
+}
+
 TEST(ChaosSoak, SameSeedSameOutcome) {
   // SIM-1 under chaos: an identical seed must reproduce the identical
   // end-to-end outcome, loss/repair counts and all.
