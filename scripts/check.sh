@@ -33,6 +33,13 @@ if [[ "${1:-}" != "--fast" ]]; then
 
   echo "== sanitized (thread, warm-up threads >= 4) =="
   MIC_PATH_WARMUP_THREADS=4 run_suite build-tsan -DMIC_SANITIZE=thread
+
+  echo "== scheduler differential, deep (SIM-2 oracle x20k ops/seed) =="
+  # The default suite already fuzzes >10k ops; the instrumented tier is
+  # the cheapest place to go deeper, so rerun the wheel-vs-reference
+  # oracle with the per-seed op count raised an order of magnitude.
+  MIC_SIM_DIFF_CASES=20000 ./build-tsan/tests/mic_tests \
+    --gtest_filter='SimulatorDiff.*'
 fi
 
 echo "OK"

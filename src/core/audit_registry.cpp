@@ -1,11 +1,16 @@
 #include "core/audit_registry.hpp"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "core/channel_journal.hpp"
 #include "core/collision_audit.hpp"
 #include "core/mimic_controller.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
 
 namespace mic::audit {
 
@@ -84,6 +89,80 @@ CheckResult check_path_rows(core::MimicController& mc) {
   return result;
 }
 
+CheckResult check_scheduler_equivalence(core::MimicController&) {
+  // SIM-2: the timing-wheel Simulator agrees with the binary-heap
+  // ReferenceSimulator.  The full oracle lives in
+  // tests/test_simulator_diff.cpp; this is a bounded always-on replica --
+  // a short randomized schedule/cancel/run program driven through both
+  // engines -- so every audit::run_all() call (chaos soaks, recovery
+  // tests, CLI) re-attests the wheel on the exact binary under test.  It
+  // ignores the controller: the scheduler invariant is engine-global.
+  CheckResult result;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::Simulator wheel;
+    sim::ReferenceSimulator ref;
+    std::vector<std::uint64_t> wheel_fired;
+    std::vector<std::uint64_t> ref_fired;
+    std::vector<sim::EventId> wheel_ids;
+    std::vector<sim::EventId> ref_ids;
+    Rng rng(seed * 0x51ED);
+    std::uint64_t token = 0;
+    for (int op = 0; op < 300; ++op) {
+      const std::uint64_t dice = rng.below(100);
+      if (dice < 55) {
+        // Delays spanning level-0 slots, cascades, and the overflow list.
+        std::uint64_t delay = rng.below(64);
+        const std::uint64_t kind = rng.below(10);
+        if (kind >= 4 && kind < 8) delay = rng.below(1'000'000);
+        if (kind >= 8) delay = rng.below(1ULL << 44);
+        const sim::SimTime when = wheel.now() + delay;
+        const std::uint64_t t = token++;
+        wheel_ids.push_back(
+            wheel.schedule_at(when, [&wheel_fired, t] {
+              wheel_fired.push_back(t);
+            }));
+        ref_ids.push_back(ref.schedule_at(when, [&ref_fired, t] {
+          ref_fired.push_back(t);
+        }));
+      } else if (dice < 72 && !wheel_ids.empty()) {
+        const std::size_t pick = rng.below(wheel_ids.size());
+        wheel.cancel(wheel_ids[pick]);  // stale handles included: no-ops
+        ref.cancel(ref_ids[pick]);
+      } else if (dice < 97) {
+        const sim::SimTime horizon = wheel.now() + rng.below(1 << 20);
+        wheel.run_until(horizon);
+        ref.run_until(horizon);
+      } else {
+        wheel.run_until(sim::kNever);
+        ref.run_until(sim::kNever);
+      }
+      ++result.items_checked;
+    }
+    wheel.run_until(sim::kNever);
+    ref.run_until(sim::kNever);
+    if (wheel_fired != ref_fired) {
+      result.violations.push_back(
+          "seed " + std::to_string(seed) + ": firing order diverged (" +
+          std::to_string(wheel_fired.size()) + " wheel vs " +
+          std::to_string(ref_fired.size()) + " reference fires)");
+    }
+    if (wheel.now() != ref.now()) {
+      result.violations.push_back(
+          "seed " + std::to_string(seed) + ": clocks diverged (" +
+          std::to_string(wheel.now()) + " wheel vs " +
+          std::to_string(ref.now()) + " reference)");
+    }
+    if (wheel.events_executed() != ref.events_executed() || !wheel.idle()) {
+      result.violations.push_back("seed " + std::to_string(seed) +
+                                  ": executed counts or idle() diverged");
+    }
+  }
+  result.metrics.emplace_back(
+      "diff_ops", static_cast<std::uint64_t>(result.items_checked));
+  result.ok = result.violations.empty();
+  return result;
+}
+
 }  // namespace
 
 const CheckResult& RunReport::check(std::string_view id) const {
@@ -126,6 +205,8 @@ Registry::Registry() {
       });
   add("RC-1", "journal / switch-resync consistency",
       check_recovery_consistency);
+  add("SIM-2", "timing-wheel / reference-scheduler equivalence",
+      check_scheduler_equivalence);
 }
 
 Registry& Registry::instance() {

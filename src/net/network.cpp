@@ -78,13 +78,25 @@ bool Network::transmit(topo::NodeId node, topo::PortId out_port,
     return false;
   }
 
+  const sim::SimTime now = sim_.now();
+
+  // Lazily retire bytes whose serialization finished: this replaces the
+  // per-packet tx_done event the pre-wheel engine scheduled.  Occupancy is
+  // only ever read right here, so draining the released prefix before the
+  // capacity check is equivalent to the eager decrement.
+  while (dir.released < dir.in_flight.size() &&
+         dir.in_flight[dir.released].tx_done <= now) {
+    MIC_ASSERT(dir.queued_bytes >= dir.in_flight[dir.released].wire);
+    dir.queued_bytes -= dir.in_flight[dir.released].wire;
+    ++dir.released;
+  }
+
   const std::uint32_t wire = packet.wire_bytes();
   if (dir.queued_bytes + wire > dir.config.queue_capacity_bytes) {
     ++dir.stats.drops;
     return false;
   }
 
-  const sim::SimTime now = sim_.now();
   const sim::SimTime start = now > dir.busy_until ? now : dir.busy_until;
   const sim::SimTime tx_done =
       start + sim::transmission_delay(wire, dir.config.bandwidth_bps);
@@ -101,20 +113,36 @@ bool Network::transmit(topo::NodeId node, topo::PortId out_port,
     tap(adj.link, node, adj.peer, packet, start);
   }
 
-  Direction* dir_ptr = &dir;
-  sim_.schedule_at(tx_done, [dir_ptr, wire] {
-    MIC_ASSERT(dir_ptr->queued_bytes >= wire);
-    dir_ptr->queued_bytes -= wire;
-  });
-
-  const topo::NodeId to = adj.peer;
-  const topo::PortId to_port = adj.peer_port;
-  sim_.schedule_at(arrival, [this, to, to_port, pkt = std::move(packet)] {
-    Device* device = devices_[to].get();
-    MIC_ASSERT_MSG(device != nullptr, "packet arrived at node without device");
-    device->receive(pkt, to_port);
-  });
+  dir.in_flight.push_back(InFlight{std::move(packet), tx_done, arrival, wire});
+  // One delivery event per packet, scheduled HERE so the insertion
+  // sequence -- and with it the firing order among same-nanosecond events
+  // anywhere in the simulation -- is exactly what the pre-batching engine
+  // produced.  (A single chained event per direction was measured to
+  // reorder same-time ties and change drop decisions; see DESIGN.md §3f.)
+  const auto index = static_cast<std::size_t>(&dir - directions_.data());
+  sim_.schedule_at(arrival, [this, index] { deliver(index); });
   return true;
+}
+
+void Network::deliver(std::size_t index) {
+  Direction& dir = directions_[index];
+  const sim::SimTime now = sim_.now();
+  // Drain the whole ripe prefix: arrivals are strictly increasing per
+  // direction, so normally exactly one packet is ripe per event, but the
+  // burst FIFO keeps delivery robust if a callback re-enters transmit().
+  while (!dir.in_flight.empty() && dir.in_flight.front().arrival <= now) {
+    InFlight entry = std::move(dir.in_flight.front());
+    dir.in_flight.pop_front();
+    if (dir.released > 0) {
+      --dir.released;  // occupancy already debited by a transmit()
+    } else {
+      MIC_ASSERT(dir.queued_bytes >= entry.wire);  // tx_done <= arrival <= now
+      dir.queued_bytes -= entry.wire;
+    }
+    Device* device = devices_[dir.to].get();
+    MIC_ASSERT_MSG(device != nullptr, "packet arrived at node without device");
+    device->receive(entry.packet, dir.to_port);
+  }
 }
 
 std::uint64_t Network::total_drops() const noexcept {

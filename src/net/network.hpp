@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -121,6 +122,16 @@ class Network {
   std::uint64_t next_packet_id() noexcept { return ++packet_id_; }
 
  private:
+  // One serialized-and-propagating packet on a direction.  Queue occupancy
+  // ends at tx_done (the last bit left the egress buffer); the receiving
+  // device sees the packet at arrival = tx_done + propagation.
+  struct InFlight {
+    Packet packet;
+    sim::SimTime tx_done = 0;
+    sim::SimTime arrival = 0;
+    std::uint32_t wire = 0;
+  };
+
   struct Direction {
     topo::NodeId from = topo::kInvalidNode;
     topo::NodeId to = topo::kInvalidNode;
@@ -131,7 +142,19 @@ class Network {
     std::uint32_t queued_bytes = 0;
     LinkStats stats;
     std::vector<Tap> taps;
+    // Burst FIFO: every transmitted-but-undelivered packet, in wire order
+    // (arrival times are strictly increasing per direction).  Packets ride
+    // here instead of inside per-event closures, and queued_bytes is
+    // retired lazily from the front (see transmit()), so a packet costs
+    // ONE capture-free scheduler event -- the pre-wheel engine paid two,
+    // one of them carrying the packet by value.
+    std::deque<InFlight> in_flight;
+    std::size_t released = 0;  // prefix of in_flight already debited
   };
+
+  /// Delivers every in_flight packet whose arrival time has been reached
+  /// on directions_[index], then re-arms the chained delivery event.
+  void deliver(std::size_t index);
 
   // directions_[2*link + 0] is endpoint-a -> endpoint-b.
   std::vector<Direction> directions_;

@@ -35,6 +35,38 @@ TraceWriter::~TraceWriter() {
   }
 }
 
+TraceHash::TraceHash(Network& network) : state_(std::make_shared<State>()) {
+  network.add_global_tap([state = state_](topo::LinkId link, topo::NodeId from,
+                                          topo::NodeId to,
+                                          const Packet& packet,
+                                          sim::SimTime time) {
+    auto fold = [&state](std::uint64_t v) {
+      // FNV-1a, one byte at a time so zero-heavy fields still diffuse.
+      for (int i = 0; i < 8; ++i) {
+        state->hash ^= (v >> (8 * i)) & 0xff;
+        state->hash *= 0x100000001b3ULL;
+      }
+    };
+    fold(time);
+    fold(link);
+    fold((static_cast<std::uint64_t>(from) << 32) | to);
+    fold((static_cast<std::uint64_t>(packet.src.value) << 32) |
+         packet.dst.value);
+    fold((static_cast<std::uint64_t>(packet.sport) << 48) |
+         (static_cast<std::uint64_t>(packet.dport) << 32) | packet.mpls);
+    fold(packet.tcp.seq);
+    fold(packet.tcp.ack_seq);
+    fold((static_cast<std::uint64_t>(packet.tcp.flags.syn) << 3) |
+         (static_cast<std::uint64_t>(packet.tcp.flags.ack) << 2) |
+         (static_cast<std::uint64_t>(packet.tcp.flags.fin) << 1) |
+         static_cast<std::uint64_t>(packet.tcp.flags.rst));
+    fold((static_cast<std::uint64_t>(packet.wire_bytes()) << 32) |
+         packet.payload_bytes());
+    fold(packet.content_tag);
+    ++state->packets;
+  });
+}
+
 namespace {
 
 Ipv4 parse_ip(const char* s) {

@@ -49,4 +49,32 @@ class TraceWriter {
 /// Loads a TSV trace written by TraceWriter.
 std::vector<TraceEntry> load_trace(const std::string& path);
 
+/// Rolling FNV-1a fingerprint of every packet observed on every link, in
+/// event order: header fields the MIC data plane rewrites, the transport
+/// metadata, the payload tag, and the observation timestamp all fold in.
+/// Two runs produce the same value iff they put byte-identical wire
+/// traffic on the fabric in the identical order at the identical times --
+/// the executable form of SIM-1's "identical seeds => identical event
+/// traces".  Attach once per network, before any traffic of interest.
+class TraceHash {
+ public:
+  explicit TraceHash(Network& network);
+
+  TraceHash(const TraceHash&) = delete;
+  TraceHash& operator=(const TraceHash&) = delete;
+
+  std::uint64_t value() const noexcept { return state_->hash; }
+  std::uint64_t packets() const noexcept { return state_->packets; }
+
+ private:
+  // The network outlives the tap std::function it stores; shared state
+  // keeps the tap valid even if the TraceHash object itself is destroyed
+  // first (taps cannot be detached).
+  struct State {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::uint64_t packets = 0;
+  };
+  std::shared_ptr<State> state_;
+};
+
 }  // namespace mic::net

@@ -1,0 +1,89 @@
+// Reference discrete-event scheduler: the original binary-heap engine,
+// kept verbatim as a differential-testing oracle (invariant SIM-2).
+//
+// This is the `std::priority_queue` implementation that `sim::Simulator`
+// shipped with before the timing-wheel rewrite.  It is deliberately frozen:
+// simple enough to audit by eye, and behavior-identical to the wheel for
+// every observable — firing order, `now()`, `idle()`, `events_executed()`,
+// and the run_until() boundary semantics.  tests/test_simulator_diff.cpp
+// drives both engines with >10k randomized schedule/cancel/run_until
+// programs and asserts they never diverge; bench/micro_sim uses it as the
+// baseline for the wheel-vs-heap throughput sweep.
+//
+// Do not optimize this class.  Its value is that it is obviously correct.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace mic::sim {
+
+using EventId = std::uint64_t;
+
+class ReferenceSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule a callback at an absolute time >= now().
+  EventId schedule_at(SimTime when, Callback cb) {
+    MIC_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    const EventId id = next_id_++;
+    queue_.push(Entry{when, id, std::move(cb)});
+    pending_.insert(id);
+    ++live_events_;
+    return id;
+  }
+
+  /// Schedule a callback `delay` from now.
+  EventId schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event.  Cancelling an already-fired or already-
+  /// cancelled event is a no-op.
+  void cancel(EventId id) {
+    if (!pending_.contains(id)) return;  // never scheduled, fired, or done
+    if (cancelled_.insert(id).second) --live_events_;
+  }
+
+  /// Run until the event queue drains or simulated time exceeds `deadline`.
+  /// Events scheduled at exactly `deadline` fire.  Returns the number of
+  /// events executed.
+  std::uint64_t run_until(SimTime deadline = kNever);
+
+  /// True if no live (non-cancelled) events remain.
+  bool idle() const noexcept { return live_events_ == 0; }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> pending_;    // ids still in queue_
+  std::unordered_set<EventId> cancelled_;  // tombstones (subset of pending_)
+};
+
+}  // namespace mic::sim

@@ -69,31 +69,52 @@ void Host::receive(const net::Packet& packet, topo::PortId /*in_port*/) {
     return;
   }
 
+  // Segment-processing cost, then demultiplex.  The packet rides the
+  // ingress FIFO: CPU completion times are non-decreasing and same-time
+  // events fire in insertion order, so the front of the FIFO is always
+  // the packet whose event fires.
   const sim::SimTime done =
       cpu_.charge(network_->simulator().now(), costs_.tcp_segment_cycles);
-  network_->simulator().schedule_at(done, [this, pkt = packet] {
-    const ConnKey key = key_of(pkt.src, pkt.dport, pkt.sport);
-    const auto it = connections_.find(key);
-    if (it != connections_.end()) {
-      it->second->on_segment(pkt);
+  ingress_fifo_.push_back(packet);
+  network_->simulator().schedule_at(done, [this] {
+    const net::Packet pkt = std::move(ingress_fifo_.front());
+    ingress_fifo_.pop_front();
+    process_segment(pkt);
+  });
+}
+
+void Host::process_segment(const net::Packet& pkt) {
+  const ConnKey key = key_of(pkt.src, pkt.dport, pkt.sport);
+  const auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    it->second->on_segment(pkt);
+    return;
+  }
+  if (pkt.tcp.flags.syn && !pkt.tcp.flags.ack) {
+    const auto listener = listeners_.find(pkt.dport);
+    if (listener != listeners_.end()) {
+      auto conn = std::unique_ptr<TcpConnection>(
+          new TcpConnection(*this, ip_, pkt.dport, pkt.src, pkt.sport));
+      TcpConnection& ref = *conn;
+      connections_[key] = std::move(conn);
+      // Let the application attach stream callbacks before the handshake
+      // completes.
+      listener->second(ref);
+      ref.start_passive_open(pkt);
       return;
     }
-    if (pkt.tcp.flags.syn && !pkt.tcp.flags.ack) {
-      const auto listener = listeners_.find(pkt.dport);
-      if (listener != listeners_.end()) {
-        auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(
-            *this, ip_, pkt.dport, pkt.src, pkt.sport));
-        TcpConnection& ref = *conn;
-        connections_[key] = std::move(conn);
-        // Let the application attach stream callbacks before the handshake
-        // completes.
-        listener->second(ref);
-        ref.start_passive_open(pkt);
-        return;
-      }
-    }
-    log_debug("host %s: no socket for %s:%u -> :%u", ip_.str().c_str(),
-              pkt.src.str().c_str(), pkt.sport, pkt.dport);
+  }
+  log_debug("host %s: no socket for %s:%u -> :%u", ip_.str().c_str(),
+            pkt.src.str().c_str(), pkt.sport, pkt.dport);
+}
+
+void Host::stage_transmit(net::Packet packet) {
+  const sim::SimTime done = charge(costs_.tcp_segment_cycles);
+  egress_fifo_.push_back(std::move(packet));
+  network_->simulator().schedule_at(done, [this] {
+    net::Packet pkt = std::move(egress_fifo_.front());
+    egress_fifo_.pop_front();
+    transmit(std::move(pkt));
   });
 }
 
@@ -154,10 +175,7 @@ void TcpConnection::send_control(net::TcpFlags flags) {
   packet.tcp.payload_len = 0;
   packet.packet_id = host_.network().next_packet_id();
 
-  const sim::SimTime done = host_.charge(host_.costs().tcp_segment_cycles);
-  host_.simulator().schedule_at(done, [this, pkt = std::move(packet)] {
-    host_.transmit(pkt);
-  });
+  host_.stage_transmit(std::move(packet));
 }
 
 void TcpConnection::send_ack() {
@@ -193,10 +211,7 @@ void TcpConnection::emit_segment(std::uint64_t seq, std::uint32_t len,
     rtt_sent_at_ = host_.simulator().now();
   }
 
-  const sim::SimTime done = host_.charge(host_.costs().tcp_segment_cycles);
-  host_.simulator().schedule_at(done, [this, pkt = std::move(packet)] {
-    host_.transmit(pkt);
-  });
+  host_.stage_transmit(std::move(packet));
 }
 
 void TcpConnection::pump() {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -185,6 +186,14 @@ class Host : public net::Device {
   /// Transmit out of the host's single NIC (port 0).
   void transmit(net::Packet packet) { network_->transmit(node_, 0, packet); }
 
+  /// Charge the segment-processing CPU cost and put `packet` on the wire
+  /// when the CPU is done with it.  The packet waits in the host's egress
+  /// FIFO instead of inside the scheduler event: CpuMeter completion times
+  /// are non-decreasing and same-time events fire in insertion order, so
+  /// the FIFO front is always the packet whose event is firing, and the
+  /// event itself captures nothing but `this`.
+  void stage_transmit(net::Packet packet);
+
   std::uint64_t fresh_stream_uid() noexcept { return ++stream_uid_; }
 
   /// Charge the host CPU; returns completion time.
@@ -216,6 +225,10 @@ class Host : public net::Device {
 
   net::L4Port allocate_ephemeral_port();
 
+  /// Demultiplex a fully CPU-processed segment to its connection (or a
+  /// listener, for a fresh SYN).
+  void process_segment(const net::Packet& packet);
+
   net::Ipv4 ip_;
   const crypto::CostModel& costs_;
   std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash>
@@ -223,6 +236,11 @@ class Host : public net::Device {
   std::unordered_map<net::L4Port, AcceptHandler> listeners_;
   net::L4Port next_ephemeral_ = 40000;
   std::uint64_t stream_uid_ = 0;
+  // Packets waiting for their CPU charge to complete, in completion order
+  // (see stage_transmit / receive).  Keeping them here instead of in the
+  // event closures keeps every scheduler node capture-small.
+  std::deque<net::Packet> egress_fifo_;
+  std::deque<net::Packet> ingress_fifo_;
 };
 
 }  // namespace mic::transport

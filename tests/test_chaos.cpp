@@ -6,6 +6,8 @@
 // channels still delivering.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 
@@ -13,6 +15,7 @@
 #include "core/fabric.hpp"
 #include "core/fault_injector.hpp"
 #include "core/mic_client.hpp"
+#include "net/trace.hpp"
 #include "topology/bcube.hpp"
 #include "topology/leafspine.hpp"
 
@@ -345,6 +348,14 @@ struct ChaosOutcome {
   std::uint64_t install_retries = 0;
   std::uint64_t control_drops = 0;
   int reestablishments = 0;
+  // Event-trace fingerprint (SIM-1): every packet on every link, in firing
+  // order, with timestamps.  Far stronger than the counter fields above --
+  // two runs agree on the hash only if the schedulers fired the identical
+  // event sequence.  The timing-wheel migration was validated by recording
+  // these hashes under the binary-heap scheduler and replaying the same
+  // seeds on the wheel.
+  std::uint64_t trace_hash = 0;
+  std::uint64_t trace_packets = 0;
 
   bool operator==(const ChaosOutcome&) const = default;
 };
@@ -357,6 +368,7 @@ template <typename FabricT>
 ChaosOutcome run_chaos(FabricT& fabric, std::size_t server_idx,
                        const std::vector<std::size_t>& client_idx,
                        std::uint64_t seed, int mn_count = 3) {
+  net::TraceHash trace(fabric.network());
   MicServer server(fabric.host(server_idx), 7000, fabric.rng());
   std::uint64_t received = 0;
   server.set_on_channel([&](core::MicServerChannel& channel) {
@@ -424,6 +436,14 @@ ChaosOutcome run_chaos(FabricT& fabric, std::size_t server_idx,
   for (const auto& client : clients) {
     out.reestablishments += client->reestablish_attempts();
   }
+  out.trace_hash = trace.value();
+  out.trace_packets = trace.packets();
+  if (std::getenv("MIC_PRINT_TRACE_HASH") != nullptr) {
+    std::fprintf(stderr, "TRACE_HASH chaos seed=%llu hash=%016llx n=%llu\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(out.trace_hash),
+                 static_cast<unsigned long long>(out.trace_packets));
+  }
   return out;
 }
 
@@ -490,6 +510,8 @@ struct CrashChaosOutcome {
   std::size_t reinstalled = 0;
   std::size_t replanned = 0;
   std::size_t orphans = 0;
+  std::uint64_t trace_hash = 0;  // see ChaosOutcome::trace_hash
+  std::uint64_t trace_packets = 0;
 
   bool operator==(const CrashChaosOutcome&) const = default;
 };
@@ -502,6 +524,7 @@ struct CrashChaosOutcome {
 /// until the final close.
 CrashChaosOutcome run_mc_crash_chaos(Fabric& fabric, std::uint64_t seed,
                                      int truncate_records) {
+  net::TraceHash trace(fabric.network());
   MicServer server(fabric.host(12), 7000, fabric.rng());
   std::uint64_t received = 0;
   server.set_on_channel([&](core::MicServerChannel& channel) {
@@ -595,6 +618,14 @@ CrashChaosOutcome run_mc_crash_chaos(Fabric& fabric, std::uint64_t seed,
   fabric.simulator().run_until();
   EXPECT_TRUE(fabric.simulator().idle());
   EXPECT_TRUE(audit::run_all(fabric.mc()).ok);
+  out.trace_hash = trace.value();
+  out.trace_packets = trace.packets();
+  if (std::getenv("MIC_PRINT_TRACE_HASH") != nullptr) {
+    std::fprintf(stderr, "TRACE_HASH mc-crash seed=%llu hash=%016llx n=%llu\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(out.trace_hash),
+                 static_cast<unsigned long long>(out.trace_packets));
+  }
   return out;
 }
 

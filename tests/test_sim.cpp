@@ -98,6 +98,49 @@ TEST(Simulator, RunUntilDeadlineStopsAndAdvancesClock) {
   EXPECT_EQ(fired, 2);
 }
 
+// Pins the run_until(deadline) boundary semantics documented on the method:
+// an event at exactly `deadline` fires, and the clock lands on the deadline.
+TEST(Simulator, RunUntilDeadlineIsInclusive) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  simulator.schedule_at(milliseconds(10), [&] { order.push_back(2); });
+  simulator.schedule_at(milliseconds(10) + 1, [&] { order.push_back(3); });
+  EXPECT_EQ(simulator.run_until(milliseconds(10)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // deadline events fired, FIFO
+  EXPECT_EQ(simulator.now(), milliseconds(10));
+  EXPECT_FALSE(simulator.idle());  // the event 1 ns past the deadline did not
+}
+
+// Pins the second documented boundary: schedule_at(now()) from inside a
+// callback is legal and the new event fires in the SAME run_until pass,
+// before time advances -- even when the pass was bounded at exactly now().
+TEST(Simulator, ScheduleAtNowInsideCallbackFiresInSamePass) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(milliseconds(5), [&] {
+    order.push_back(1);
+    simulator.schedule_at(simulator.now(), [&] {
+      order.push_back(2);
+      simulator.schedule_at(simulator.now(), [&] { order.push_back(3); });
+    });
+  });
+  EXPECT_EQ(simulator.run_until(milliseconds(5)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), milliseconds(5));
+  EXPECT_TRUE(simulator.idle());
+}
+
+// An empty or past-deadline run still advances the clock to the horizon
+// (and never moves it backwards).
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.run_until(milliseconds(7)), 0u);
+  EXPECT_EQ(simulator.now(), milliseconds(7));
+  EXPECT_EQ(simulator.run_until(milliseconds(3)), 0u);  // horizon in the past
+  EXPECT_EQ(simulator.now(), milliseconds(7));          // clock is monotone
+}
+
 TEST(Simulator, SchedulingIntoThePastDies) {
   Simulator simulator;
   simulator.schedule_at(milliseconds(10), [] {});
