@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/rng.hpp"
@@ -163,6 +164,31 @@ int run_smoke() {
   return 0;
 }
 
+/// Perf-regression guard for scripts/check.sh: the wheel must beat the
+/// frozen heap engine on the hold model.  Best-of-3 per engine irons out
+/// scheduler interference on loaded CI boxes.
+int run_min_speedup(double required) {
+  constexpr std::size_t kTimers = 10'000;
+  constexpr std::uint64_t kTarget = 1'000'000;
+  double wheel_eps = 0.0;
+  double heap_eps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    HoldModel<sim::Simulator> wheel(42, kTarget);
+    wheel_eps = std::max(wheel_eps, wheel.run(kTimers));
+    HoldModel<sim::ReferenceSimulator> heap(42, kTarget);
+    heap_eps = std::max(heap_eps, heap.run(kTimers));
+  }
+  const double speedup = wheel_eps / heap_eps;
+  std::printf("wheel %.0f events/s, heap %.0f events/s: %.2fx\n", wheel_eps,
+              heap_eps, speedup);
+  if (speedup < required) {
+    std::fprintf(stderr, "wheel speedup %.2fx below required %.2fx\n",
+                 speedup, required);
+    return 1;
+  }
+  return 0;
+}
+
 int run_sweep_json() {
   std::printf("{\"bench\":\"micro_sim\",\"hold_model\":[");
   bool first = true;
@@ -222,6 +248,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   if (argc > 1 && std::strcmp(argv[1], "--sweep_json") == 0) {
     return run_sweep_json();
+  }
+  if (argc > 2 && std::strcmp(argv[1], "--min_speedup") == 0) {
+    return run_min_speedup(std::atof(argv[2]));
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,7 +13,10 @@
 # the suite constructs its PathEngine through the multi-threaded warm-up
 # path (ControllerConfig::effective_warmup_threads honours the override),
 # putting the rows_mu_-guarded cache under real contention instead of only
-# in the handful of tests that opt in.
+# in the handful of tests that opt in.  It also exports MIC_SIM_SHARDS=4 so
+# every default-constructed Fabric runs the pod-sharded engine (serial-exact
+# regime), and the sharded-window tests exercise the worker pool under the
+# race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,12 +30,23 @@ run_suite() {
 echo "== plain =="
 run_suite build
 
+echo "== perf-regression guards =="
+# The timing wheel must beat the frozen heap engine, and the pod-sharded
+# engine must not regress against the single engine.  Thresholds leave
+# headroom for scheduler noise on loaded single-core CI boxes (the real
+# parallel speedup needs cores; BENCH_parallel.json records the honest
+# sweep) -- a true regression (accidental serialization, coordination on
+# the hot path) lands far below them.
+./build/bench/micro_sim --min_speedup 1.0
+./build/bench/macro_dataplane --k 4 --flows 4 --mb 2 --reps 3 --min_speedup 0.7
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitized (address,undefined) =="
   run_suite build-asan -DMIC_SANITIZE=address
 
-  echo "== sanitized (thread, warm-up threads >= 4) =="
-  MIC_PATH_WARMUP_THREADS=4 run_suite build-tsan -DMIC_SANITIZE=thread
+  echo "== sanitized (thread, warm-up threads >= 4, 4 sim shards) =="
+  MIC_PATH_WARMUP_THREADS=4 MIC_SIM_SHARDS=4 run_suite build-tsan \
+    -DMIC_SANITIZE=thread
 
   echo "== scheduler differential, deep (SIM-2 oracle x20k ops/seed) =="
   # The default suite already fuzzes >10k ops; the instrumented tier is

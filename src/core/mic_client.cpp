@@ -274,7 +274,7 @@ void MicChannel::on_established(const EstablishResult& result) {
           hello.length = 0;
           hello.flow = static_cast<std::uint16_t>(f);
           flows_[f].stream->send(
-              transport::Chunk::real(serialize_slice_header(hello)));
+              slice_header_chunk(hello));
         }
         notify_ready();
         flush_pending();
@@ -324,7 +324,7 @@ void MicChannel::send_slice(transport::Chunk payload) {
   header.length = static_cast<std::uint32_t>(payload.length);
   header.flow = static_cast<std::uint16_t>(flow_index);
   flow.bytes_sent += kSliceHeaderBytes + payload.length;
-  flow.stream->send(transport::Chunk::real(serialize_slice_header(header)));
+  flow.stream->send(slice_header_chunk(header));
   if (payload.length > 0) flow.stream->send(std::move(payload));
 }
 
@@ -428,7 +428,7 @@ void MicServerChannel::send(transport::Chunk chunk) {
     header.length = static_cast<std::uint32_t>(slice_len);
     header.flow = static_cast<std::uint16_t>(flow_index);
     streams_[flow_index]->send(
-        transport::Chunk::real(serialize_slice_header(header)));
+        slice_header_chunk(header));
     streams_[flow_index]->send(transport::sub_chunk(chunk, offset, slice_len));
     offset += slice_len;
   }

@@ -6,6 +6,7 @@
 // order across m-flows that raced each other through different paths.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 
@@ -26,17 +27,30 @@ struct SliceHeader {
   std::uint16_t magic = kSliceMagic;
 };
 
-inline std::vector<std::uint8_t> serialize_slice_header(
-    const SliceHeader& header) {
-  std::vector<std::uint8_t> out(kSliceHeaderBytes);
-  store_be32(out.data(), header.channel);
-  store_be32(out.data() + 4, header.seq);
-  store_be32(out.data() + 8, header.length);
+inline void write_slice_header(std::uint8_t* out, const SliceHeader& header) {
+  store_be32(out, header.channel);
+  store_be32(out + 4, header.seq);
+  store_be32(out + 8, header.length);
   out[12] = static_cast<std::uint8_t>(header.flow >> 8);
   out[13] = static_cast<std::uint8_t>(header.flow);
   out[14] = static_cast<std::uint8_t>(header.magic >> 8);
   out[15] = static_cast<std::uint8_t>(header.magic);
+}
+
+inline std::vector<std::uint8_t> serialize_slice_header(
+    const SliceHeader& header) {
+  std::vector<std::uint8_t> out(kSliceHeaderBytes);
+  write_slice_header(out.data(), header);
   return out;
+}
+
+/// The header as an arena-backed chunk: serialized into a stack scratch and
+/// copied through the thread's PayloadArena, so steady-state slicing does
+/// not heap-allocate per slice.
+inline transport::Chunk slice_header_chunk(const SliceHeader& header) {
+  std::array<std::uint8_t, kSliceHeaderBytes> scratch;
+  write_slice_header(scratch.data(), header);
+  return transport::Chunk::copy(scratch);
 }
 
 inline SliceHeader parse_slice_header(const std::vector<std::uint8_t>& bytes) {

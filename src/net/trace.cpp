@@ -1,29 +1,94 @@
 #include "net/trace.hpp"
 
 #include <cinttypes>
+#include <cstring>
 
 #include "common/assert.hpp"
 
 namespace mic::net {
 
+namespace {
+
+constexpr const char* kHeaderLine =
+    "time_ns\tlink\tfrom\tto\tsrc\tdst\tsport\tdport\tmpls\tseq\tack\t"
+    "flags\tbytes\tpayload\ttag";
+
+std::uint8_t flag_bits_of(const Packet& packet) {
+  return static_cast<std::uint8_t>(
+      (static_cast<unsigned>(packet.tcp.flags.syn) << 3) |
+      (static_cast<unsigned>(packet.tcp.flags.ack) << 2) |
+      (static_cast<unsigned>(packet.tcp.flags.fin) << 1) |
+      static_cast<unsigned>(packet.tcp.flags.rst));
+}
+
+}  // namespace
+
+TraceEntry make_trace_entry(topo::LinkId link, topo::NodeId from,
+                            topo::NodeId to, const Packet& packet,
+                            sim::SimTime time) {
+  TraceEntry entry;
+  entry.time = time;
+  entry.link = link;
+  entry.from = from;
+  entry.to = to;
+  entry.src = packet.src;
+  entry.dst = packet.dst;
+  entry.sport = packet.sport;
+  entry.dport = packet.dport;
+  entry.mpls = packet.mpls;
+  entry.tcp_seq = packet.tcp.seq;
+  entry.tcp_ack = packet.tcp.ack_seq;
+  entry.tcp_flag_bits = flag_bits_of(packet);
+  entry.wire_bytes = packet.wire_bytes();
+  entry.payload_bytes = packet.payload_bytes();
+  entry.content_tag = packet.content_tag;
+  return entry;
+}
+
+void fold_trace_entry(std::uint64_t& hash, const TraceEntry& entry) {
+  auto fold = [&hash](std::uint64_t v) {
+    // FNV-1a, one byte at a time so zero-heavy fields still diffuse.
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  fold(entry.time);
+  fold(entry.link);
+  fold((static_cast<std::uint64_t>(entry.from) << 32) | entry.to);
+  fold((static_cast<std::uint64_t>(entry.src.value) << 32) | entry.dst.value);
+  fold((static_cast<std::uint64_t>(entry.sport) << 48) |
+       (static_cast<std::uint64_t>(entry.dport) << 32) | entry.mpls);
+  fold(entry.tcp_seq);
+  fold(entry.tcp_ack);
+  fold(entry.tcp_flag_bits);
+  fold((static_cast<std::uint64_t>(entry.wire_bytes) << 32) |
+       entry.payload_bytes);
+  fold(entry.content_tag);
+}
+
+std::uint64_t trace_hash_of(const std::vector<TraceEntry>& entries) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const TraceEntry& entry : entries) fold_trace_entry(hash, entry);
+  return hash;
+}
+
 TraceWriter::TraceWriter(Network& network, const std::string& path) {
   file_ = std::fopen(path.c_str(), "w");
   MIC_ASSERT_MSG(file_ != nullptr, "cannot open trace file for writing");
-  std::fputs(
-      "time_ns\tlink\tfrom\tto\tsrc\tdst\tsport\tdport\tmpls\tbytes\t"
-      "payload\ttag\n",
-      file_);
+  std::fprintf(file_, "%s\n", kHeaderLine);
   network.add_global_tap([this](topo::LinkId link, topo::NodeId from,
                                 topo::NodeId to, const Packet& packet,
                                 sim::SimTime time) {
     if (file_ == nullptr) return;
+    const TraceEntry e = make_trace_entry(link, from, to, packet, time);
     std::fprintf(file_,
-                 "%" PRIu64 "\t%u\t%u\t%u\t%s\t%s\t%u\t%u\t%u\t%u\t%u\t%" PRIx64
-                 "\n",
-                 time, link, from, to, packet.src.str().c_str(),
-                 packet.dst.str().c_str(), packet.sport, packet.dport,
-                 packet.mpls, packet.wire_bytes(), packet.payload_bytes(),
-                 packet.content_tag);
+                 "%" PRIu64 "\t%u\t%u\t%u\t%s\t%s\t%u\t%u\t%u\t%" PRIu64
+                 "\t%" PRIu64 "\t%u\t%u\t%u\t%" PRIx64 "\n",
+                 e.time, e.link, e.from, e.to, e.src.str().c_str(),
+                 e.dst.str().c_str(), e.sport, e.dport, e.mpls, e.tcp_seq,
+                 e.tcp_ack, e.tcp_flag_bits, e.wire_bytes, e.payload_bytes,
+                 e.content_tag);
     ++entries_;
   });
 }
@@ -40,81 +105,137 @@ TraceHash::TraceHash(Network& network) : state_(std::make_shared<State>()) {
                                           topo::NodeId to,
                                           const Packet& packet,
                                           sim::SimTime time) {
-    auto fold = [&state](std::uint64_t v) {
-      // FNV-1a, one byte at a time so zero-heavy fields still diffuse.
-      for (int i = 0; i < 8; ++i) {
-        state->hash ^= (v >> (8 * i)) & 0xff;
-        state->hash *= 0x100000001b3ULL;
-      }
-    };
-    fold(time);
-    fold(link);
-    fold((static_cast<std::uint64_t>(from) << 32) | to);
-    fold((static_cast<std::uint64_t>(packet.src.value) << 32) |
-         packet.dst.value);
-    fold((static_cast<std::uint64_t>(packet.sport) << 48) |
-         (static_cast<std::uint64_t>(packet.dport) << 32) | packet.mpls);
-    fold(packet.tcp.seq);
-    fold(packet.tcp.ack_seq);
-    fold((static_cast<std::uint64_t>(packet.tcp.flags.syn) << 3) |
-         (static_cast<std::uint64_t>(packet.tcp.flags.ack) << 2) |
-         (static_cast<std::uint64_t>(packet.tcp.flags.fin) << 1) |
-         static_cast<std::uint64_t>(packet.tcp.flags.rst));
-    fold((static_cast<std::uint64_t>(packet.wire_bytes()) << 32) |
-         packet.payload_bytes());
-    fold(packet.content_tag);
+    fold_trace_entry(state->hash,
+                     make_trace_entry(link, from, to, packet, time));
     ++state->packets;
   });
 }
 
 namespace {
 
-Ipv4 parse_ip(const char* s) {
-  int a = 0, b = 0, c = 0, d = 0;
-  std::sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d);
-  return Ipv4(a, b, c, d);
+/// Strict dotted-quad parse: exactly four octets, each 0-255, nothing
+/// trailing.  Returns false on anything else (sscanf alone would accept
+/// "1.2.3.4junk" and octet overflow).
+bool parse_ip_checked(const char* s, Ipv4* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  int consumed = 0;
+  if (std::sscanf(s, "%3u.%3u.%3u.%3u%n", &a, &b, &c, &d, &consumed) != 4) {
+    return false;
+  }
+  if (s[consumed] != '\0') return false;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return false;
+  *out = Ipv4(static_cast<int>(a), static_cast<int>(b), static_cast<int>(c),
+              static_cast<int>(d));
+  return true;
+}
+
+TraceParseResult fail(TraceParseResult result, std::size_t line,
+                      std::string error) {
+  result.ok = false;
+  result.error_line = line;
+  result.error = std::move(error);
+  return result;
 }
 
 }  // namespace
 
-std::vector<TraceEntry> load_trace(const std::string& path) {
+TraceParseResult load_trace_checked(const std::string& path) {
+  TraceParseResult result;
   std::FILE* file = std::fopen(path.c_str(), "r");
-  MIC_ASSERT_MSG(file != nullptr, "cannot open trace file for reading");
-  std::vector<TraceEntry> entries;
+  if (file == nullptr) {
+    return fail(std::move(result), 0, "cannot open trace file for reading");
+  }
   char line[512];
-  bool first = true;
+  std::size_t line_no = 0;
   while (std::fgets(line, sizeof(line), file) != nullptr) {
-    if (first) {  // header
-      first = false;
+    ++line_no;
+    std::size_t len = std::strlen(line);
+    if (len > 0 && line[len - 1] == '\n') {
+      line[--len] = '\0';
+    } else if (len + 1 == sizeof(line)) {
+      std::fclose(file);
+      return fail(std::move(result), line_no, "line too long");
+    }
+    // A record that lost its newline to truncation still parses below if
+    // all 15 fields survived; a partial final line fails the field count.
+    if (line_no == 1) {
+      if (std::strcmp(line, kHeaderLine) != 0) {
+        std::fclose(file);
+        return fail(std::move(result), 1,
+                    "unrecognized trace header (format mismatch?)");
+      }
       continue;
     }
-    TraceEntry entry;
+    if (len == 0) {
+      std::fclose(file);
+      return fail(std::move(result), line_no, "blank line inside trace");
+    }
     char src[64] = {0};
     char dst[64] = {0};
-    unsigned link, from, to, sport, dport, mpls, bytes, payload;
-    std::uint64_t time_ns, tag;
+    unsigned link, from, to, sport, dport, mpls, flags, bytes, payload;
+    std::uint64_t time_ns, seq, ack, tag;
+    int consumed = 0;
     const int fields = std::sscanf(
         line,
-        "%" SCNu64 "\t%u\t%u\t%u\t%63s\t%63s\t%u\t%u\t%u\t%u\t%u\t%" SCNx64,
-        &time_ns, &link, &from, &to, src, dst, &sport, &dport, &mpls, &bytes,
-        &payload, &tag);
-    if (fields != 12) continue;
+        "%" SCNu64 "\t%u\t%u\t%u\t%63s\t%63s\t%u\t%u\t%u\t%" SCNu64
+        "\t%" SCNu64 "\t%u\t%u\t%u\t%" SCNx64 "%n",
+        &time_ns, &link, &from, &to, src, dst, &sport, &dport, &mpls, &seq,
+        &ack, &flags, &bytes, &payload, &tag, &consumed);
+    if (fields != 15) {
+      std::fclose(file);
+      return fail(std::move(result), line_no,
+                  "malformed record: expected 15 fields, parsed " +
+                      std::to_string(fields < 0 ? 0 : fields));
+    }
+    if (line[consumed] != '\0') {
+      std::fclose(file);
+      return fail(std::move(result), line_no,
+                  "trailing garbage after record");
+    }
+    TraceEntry entry;
+    if (!parse_ip_checked(src, &entry.src)) {
+      std::fclose(file);
+      return fail(std::move(result), line_no, "malformed source address");
+    }
+    if (!parse_ip_checked(dst, &entry.dst)) {
+      std::fclose(file);
+      return fail(std::move(result), line_no,
+                  "malformed destination address");
+    }
+    if (sport > 0xffff || dport > 0xffff) {
+      std::fclose(file);
+      return fail(std::move(result), line_no, "port out of range");
+    }
+    if (flags > 0xf) {
+      std::fclose(file);
+      return fail(std::move(result), line_no, "flag bits out of range");
+    }
     entry.time = time_ns;
     entry.link = link;
     entry.from = from;
     entry.to = to;
-    entry.src = parse_ip(src);
-    entry.dst = parse_ip(dst);
     entry.sport = static_cast<L4Port>(sport);
     entry.dport = static_cast<L4Port>(dport);
     entry.mpls = mpls;
+    entry.tcp_seq = seq;
+    entry.tcp_ack = ack;
+    entry.tcp_flag_bits = static_cast<std::uint8_t>(flags);
     entry.wire_bytes = bytes;
     entry.payload_bytes = payload;
     entry.content_tag = tag;
-    entries.push_back(entry);
+    result.entries.push_back(entry);
   }
   std::fclose(file);
-  return entries;
+  if (line_no == 0) {
+    return fail(std::move(result), 0, "empty trace file (missing header)");
+  }
+  return result;
+}
+
+std::vector<TraceEntry> load_trace(const std::string& path) {
+  TraceParseResult result = load_trace_checked(path);
+  MIC_ASSERT_MSG(result.ok, "malformed trace file");
+  return std::move(result.entries);
 }
 
 }  // namespace mic::net

@@ -1,0 +1,278 @@
+#include "sim/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace mic::sim {
+
+namespace {
+
+thread_local int tls_shard = -1;
+
+SimTime saturating_add(SimTime a, SimTime b) noexcept {
+  const SimTime sum = a + b;
+  return sum < a ? kNever : sum;
+}
+
+int resolve_threads(const ShardedOptions& options) {
+  if (options.shards <= 1) return 1;
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  return std::min(threads, options.shards);
+}
+
+}  // namespace
+
+// Persistent barrier-synchronized pool: window w assigns engine s to thread
+// s % threads (thread 0 is the caller), every assignment deterministic.
+// Plain std::mutex + condition_variable, not the annotated mic::Mutex: the
+// capability analysis cannot see through condition_variable waits, and the
+// handoff protocol is the entire point of this class.
+class ShardedSimulator::WorkerPool {
+ public:
+  WorkerPool(ShardedSimulator& owner, int threads)
+      : owner_(owner), lanes_(threads) {
+    threads_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int id = 1; id < threads; ++id) {
+      threads_.emplace_back([this, id] { worker_main(id); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs every device engine to `limit` across the pool; blocks until all
+  /// are done and returns the total events fired.  The mutex/condvar pair
+  /// gives the happens-before edges both ways: engine state written by a
+  /// worker is visible to the caller after the join, and vice versa.
+  std::uint64_t run_window(SimTime limit) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      limit_ = limit;
+      fired_ = 0;
+      pending_ = lanes_ - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    const std::uint64_t mine = run_lane(0, lanes_, limit);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    return fired_ + mine;
+  }
+
+ private:
+  std::uint64_t run_lane(int lane, int lanes, SimTime limit) {
+    std::uint64_t fired = 0;
+    for (int s = lane; s < owner_.shards_; s += lanes) {
+      tls_shard = s;
+      fired += owner_.engines_[static_cast<std::size_t>(s)]->run_until_local(
+          limit);
+    }
+    tls_shard = -1;
+    return fired;
+  }
+
+  void worker_main(int lane) {
+    // Workers never touch threads_: the constructor is still emplacing into
+    // that vector while the first workers start up.  lanes_ is written once
+    // before any spawn.
+    const int lanes = lanes_;
+    std::uint64_t seen = 0;
+    for (;;) {
+      SimTime limit = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        limit = limit_;
+      }
+      const std::uint64_t fired = run_lane(lane, lanes, limit);
+      bool last = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        fired_ += fired;
+        last = --pending_ == 0;
+      }
+      if (last) done_cv_.notify_one();
+    }
+  }
+
+  ShardedSimulator& owner_;
+  const int lanes_;  ///< total lanes incl. the caller; set before any spawn
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t fired_ = 0;
+  SimTime limit_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+ShardedSimulator::ShardedSimulator(ShardedOptions options)
+    : shards_(std::max(1, options.shards)), threads_(resolve_threads(options)) {
+  // shards == 1: one engine wearing both hats, no coordinator -- the
+  // classic single-shard simulation, with zero added machinery.
+  const std::size_t count =
+      shards_ == 1 ? 1 : static_cast<std::size_t>(shards_) + 1;
+  engines_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    engines_.push_back(std::make_unique<Simulator>());
+  }
+  peeks_.resize(engines_.size());
+  if (coordinated()) {
+    for (auto& e : engines_) e->use_shared_seq(&shared_seq_);
+    global().set_coordinator(this);
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  pool_.reset();
+  if (coordinated()) global().set_coordinator(nullptr);
+}
+
+int ShardedSimulator::current_shard() noexcept { return tls_shard; }
+
+void ShardedSimulator::assert_serial(const char* what) {
+  MIC_ASSERT_MSG(tls_shard == -1, what);
+  (void)what;
+}
+
+const std::optional<Simulator::PeekInfo>& ShardedSimulator::cached_peek(
+    std::size_t e) const {
+  PeekCache& cache = peeks_[e];
+  const std::uint64_t stamp = engines_[e]->change_stamp();
+  if (cache.stamp != stamp) {
+    cache.peek = engines_[e]->peek_next();
+    cache.stamp = stamp;
+  }
+  return cache.peek;
+}
+
+std::uint64_t ShardedSimulator::coordinate_run(SimTime deadline) {
+  MIC_ASSERT_MSG(!running_, "re-entrant run_until on a coordinated engine");
+  running_ = true;
+  const std::size_t n = engines_.size();
+  const auto global_index = static_cast<std::size_t>(shards_);
+  std::uint64_t ran = 0;
+  for (;;) {
+    std::size_t best = n;
+    Simulator::PeekInfo min{};
+    for (std::size_t e = 0; e < n; ++e) {
+      const auto& peek = cached_peek(e);
+      if (!peek) continue;
+      if (best == n || peek->when < min.when ||
+          (peek->when == min.when && peek->seq < min.seq)) {
+        best = e;
+        min = *peek;
+      }
+    }
+    if (best == n) break;  // every engine drained
+    if (deadline != kNever && min.when > deadline) break;
+
+    if (parallel_enabled_ && lookahead_ > 0 && best != global_index &&
+        (!parallel_veto_ || !parallel_veto_())) {
+      // E = min(t + W, next global event, deadline + 1): within [t, E) no
+      // shard can causally affect another (every cross-shard effect lags by
+      // at least W) and the control plane is silent, so the shards run
+      // concurrently and exchange their cross-shard transmits at the
+      // barrier.  A global event at t collapses the window to nothing and
+      // the step below runs serial-exact instead.
+      SimTime e_end = saturating_add(min.when, lookahead_);
+      if (const auto& g = cached_peek(global_index); g) {
+        e_end = std::min(e_end, g->when);
+      }
+      if (deadline != kNever) {
+        e_end = std::min(e_end, saturating_add(deadline, 1));
+      }
+      if (e_end > min.when && e_end != kNever) {
+        ran += run_parallel_window(e_end);
+        continue;
+      }
+    }
+
+    // Serial-exact step: every engine's clock reaches the event time first,
+    // because the callback may schedule relative to now() on ANY engine
+    // (e.g. a host event arming a control-plane timer on the global one).
+    for (auto& e : engines_) e->advance_clock_to(min.when);
+    const bool fired = engines_[best]->fire_next(min.when);
+    MIC_ASSERT_MSG(fired, "peeked event vanished before firing");
+    ++ran;
+    ++stats_.serial_events;
+  }
+  if (deadline == kNever) {
+    for (auto& e : engines_) e->finish_drain();
+  } else {
+    for (auto& e : engines_) e->advance_clock_to(deadline);
+  }
+  running_ = false;
+  return ran;
+}
+
+std::uint64_t ShardedSimulator::run_parallel_window(SimTime e_end) {
+  ++stats_.windows;
+  const SimTime limit = e_end - 1;  // windows are half-open: [t, e_end)
+  // Disjoint deterministic seq ranges: shard s stamps base+s, base+s+S, ...
+  // Per-engine seqs stay monotone (insertion order inside an engine is seq
+  // order), which is all peek_next's merge key needs.
+  const std::uint64_t base = shared_seq_;
+  const auto stride = static_cast<std::uint64_t>(shards_);
+  for (int s = 0; s < shards_; ++s) {
+    engines_[static_cast<std::size_t>(s)]->use_local_seq(
+        base + static_cast<std::uint64_t>(s), stride);
+  }
+  Simulator& global_engine = global();
+  global_engine.set_frozen(true);
+  std::uint64_t fired = 0;
+  if (threads_ > 1) {
+    if (!pool_) pool_ = std::make_unique<WorkerPool>(*this, threads_);
+    fired = pool_->run_window(limit);
+  } else {
+    // Cooperative window: same engines, mailboxes and barrier, executed on
+    // this thread shard by shard.  On a single-core host this is the only
+    // mode that is not a regression; the semantics are identical.
+    for (int s = 0; s < shards_; ++s) {
+      tls_shard = s;
+      fired += engines_[static_cast<std::size_t>(s)]->run_until_local(limit);
+    }
+    tls_shard = -1;
+  }
+  global_engine.set_frozen(false);
+  global_engine.advance_clock_to(limit);
+  // Re-join the shared counter strictly past every seq issued in the
+  // window; the max is deterministic (a function of per-engine schedule
+  // counts), so so is every seq assigned afterwards.
+  std::uint64_t next = base;
+  for (int s = 0; s < shards_; ++s) {
+    next = std::max(next,
+                    engines_[static_cast<std::size_t>(s)]->local_seq_cursor());
+  }
+  shared_seq_ = next;
+  for (auto& e : engines_) e->use_shared_seq(&shared_seq_);
+  stats_.window_events += fired;
+  ++stats_.barriers;
+  if (barrier_hook_) barrier_hook_();
+  return fired;
+}
+
+bool ShardedSimulator::coordinate_idle() const {
+  for (const auto& e : engines_) {
+    if (!e->idle_local()) return false;
+  }
+  return true;
+}
+
+}  // namespace mic::sim

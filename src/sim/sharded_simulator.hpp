@@ -1,0 +1,162 @@
+// Pod-sharded parallel simulation: several timing-wheel engines coordinated
+// with classic conservative lookahead (Chandy-Misra-Bryant style windows).
+//
+// The fabric is partitioned by pod: every device's events live on its
+// shard's engine, plus one extra *global* engine (index = shards()) for
+// everything that is not a device -- the Mimic Controller, clients'
+// control-plane timers, fault injectors, test harness events.  The global
+// engine is what `Fabric::simulator()` returns, so the ~150 existing call
+// sites keep compiling and running unchanged; its run_until()/idle()
+// delegate here via sim::RunCoordinator.
+//
+// Two execution regimes, chosen window by window:
+//
+//  * Serial-exact (the default, and the only mode when a workload is
+//    entangled -- pending global events, observation taps, lossy links):
+//    all engines share one seq counter, and the coordinator repeatedly
+//    fires the globally minimal (when, seq) event, aligning every engine's
+//    clock first.  By induction on the shared counter this interleave is
+//    BIT-IDENTICAL to running the whole program on one engine: identical
+//    prefixes assign identical seqs, so the next (when, seq) minimum is
+//    exactly the event the single engine would pop (SIM-1 order).  This is
+//    what lets every recorded chaos-soak trace_hash replay unchanged with
+//    MIC_SIM_SHARDS=4 (SIM-3, tests/test_chaos.cpp).
+//
+//  * Parallel windows (opt-in via set_parallel_enabled / MIC_SIM_PARALLEL):
+//    with W = the minimum propagation delay over inter-shard links
+//    (set_lookahead), any event a shard creates on another shard arrives at
+//    least W after it was sent.  So inside [t, E) with
+//    E = min(t + W, next global event, deadline + 1) the shards share no
+//    causality and run concurrently; cross-shard transmits are staged in
+//    per-shard mailboxes and exchanged at the window barrier in canonical
+//    (arrival_time, direction_index, per-direction FIFO) order, making the
+//    schedule deterministic for a fixed shard count.  Each engine stamps
+//    events from a private strided seq range (base + shard, step shards),
+//    so seqs stay unique and per-engine monotone without synchronization.
+//    Shard-to-shard ties in the same nanosecond may order differently than
+//    the serial interleave -- that is the documented trade; workloads that
+//    need exactness (every soak, anything tapped) stay serial.
+//
+// Windows execute on a persistent worker pool when `threads > 1`; with one
+// thread (the only honest choice on a single-core host) the same windows,
+// mailboxes and barriers run cooperatively on the calling thread, so the
+// machinery is identical and only the concurrency differs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mic::sim {
+
+struct ShardedOptions {
+  /// Device shards.  1 = classic single-engine simulation (no coordinator,
+  /// no overhead); N > 1 adds one more engine for the global/control plane.
+  int shards = 1;
+  /// Worker threads for parallel windows.  0 = auto (hardware concurrency,
+  /// capped at `shards`); 1 = cooperative windows on the calling thread.
+  int threads = 0;
+};
+
+struct ShardedStats {
+  std::uint64_t serial_events = 0;  ///< fired via the exact interleave
+  std::uint64_t window_events = 0;  ///< fired inside parallel windows
+  std::uint64_t windows = 0;        ///< parallel windows executed
+  std::uint64_t barriers = 0;       ///< barrier hooks invoked (== windows)
+};
+
+class ShardedSimulator final : public RunCoordinator {
+ public:
+  explicit ShardedSimulator(ShardedOptions options = {});
+  ~ShardedSimulator() override;
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int shards() const noexcept { return shards_; }
+  int threads() const noexcept { return threads_; }
+  bool coordinated() const noexcept { return shards_ > 1; }
+
+  /// The global/control engine; with shards() == 1 it is the only engine.
+  /// This is the `sim::Simulator&` the rest of the system sees.
+  Simulator& global() noexcept { return *engines_.back(); }
+
+  /// Engine for a device shard in [0, shards()); index shards() is the
+  /// global engine.  With shards() == 1 every index maps to the one engine.
+  Simulator& engine(int shard) noexcept {
+    MIC_ASSERT(shard >= 0 && static_cast<std::size_t>(shard) < engines_.size());
+    return *engines_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Conservative lookahead window width: the minimum propagation delay of
+  /// inter-shard links (0 disables parallel windows).  Network computes and
+  /// installs it from the shard map.
+  void set_lookahead(SimTime lookahead) noexcept { lookahead_ = lookahead; }
+  SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// Parallel windows are opt-in: the exact serial interleave is always
+  /// safe, windows additionally require the workload contract (no taps, no
+  /// lossy links, control plane quiescent inside the window).
+  void set_parallel_enabled(bool enabled) noexcept {
+    parallel_enabled_ = enabled;
+  }
+  bool parallel_enabled() const noexcept { return parallel_enabled_; }
+
+  /// Returns true while the workload is entangled (taps attached, lossy
+  /// directions configured, ...): windows are suppressed and execution
+  /// stays serial-exact.  Installed by Network.
+  void set_parallel_veto(std::function<bool()> veto) {
+    parallel_veto_ = std::move(veto);
+  }
+
+  /// Invoked in serial context after every parallel window, before any
+  /// further event fires: Network drains the cross-shard mailboxes here.
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  const ShardedStats& stats() const noexcept { return stats_; }
+
+  /// Shard whose engine is executing on this thread, -1 in serial context
+  /// (including the serial-exact interleave).  This is how Network decides
+  /// between scheduling a cross-shard delivery directly (serial) and
+  /// staging it in a mailbox (inside a window).
+  static int current_shard() noexcept;
+  /// Asserts serial context; `what` names the operation for the message.
+  /// Guards the entry points that must never run inside a window
+  /// (packet-in to the controller, link state changes, tap attachment).
+  static void assert_serial(const char* what);
+
+  // RunCoordinator (installed on the global engine when shards() > 1):
+  std::uint64_t coordinate_run(SimTime deadline) override;
+  bool coordinate_idle() const override;
+
+ private:
+  class WorkerPool;
+
+  struct PeekCache {
+    std::uint64_t stamp = ~0ULL;
+    std::optional<Simulator::PeekInfo> peek;
+  };
+
+  const std::optional<Simulator::PeekInfo>& cached_peek(std::size_t e) const;
+  std::uint64_t run_parallel_window(SimTime e_end);
+
+  int shards_ = 1;
+  int threads_ = 1;
+  SimTime lookahead_ = 0;
+  bool parallel_enabled_ = false;
+  bool running_ = false;
+  std::vector<std::unique_ptr<Simulator>> engines_;
+  std::uint64_t shared_seq_ = 0;
+  std::function<bool()> parallel_veto_;
+  std::function<void()> barrier_hook_;
+  ShardedStats stats_;
+  mutable std::vector<PeekCache> peeks_;
+  std::unique_ptr<WorkerPool> pool_;  // created on first threaded window
+};
+
+}  // namespace mic::sim

@@ -1,28 +1,36 @@
 #include "switchd/sdn_switch.hpp"
 
 #include "common/log.hpp"
+#include "sim/sharded_simulator.hpp"
 
 namespace mic::switchd {
 
 void SdnSwitch::receive(const net::Packet& packet, topo::PortId in_port) {
   // The lookup itself costs CPU; the packet continues processing when the
-  // (serial) switch CPU gets to it.
+  // (serial) switch CPU gets to it.  It waits in the ingress FIFO until
+  // then: completion times are non-decreasing and same-time events fire in
+  // insertion order, so the FIFO front is always the packet whose event is
+  // firing and the event captures nothing but `this`.
   const sim::SimTime done =
-      cpu_.charge(network_->simulator().now(), costs_.switch_lookup_cycles);
-
-  net::Packet copy = packet;
-  network_->simulator().schedule_at(done, [this, pkt = std::move(copy),
-                                           in_port] {
-    FlowRule* rule = table_.lookup(pkt, in_port, pkt.wire_bytes());
+      cpu_.charge(local_sim().now(), costs_.switch_lookup_cycles);
+  ingress_fifo_.emplace_back(packet, in_port);
+  local_sim().schedule_at(done, [this] {
+    net::Packet pkt = std::move(ingress_fifo_.front().first);
+    const topo::PortId port = ingress_fifo_.front().second;
+    ingress_fifo_.pop_front();
+    FlowRule* rule = table_.lookup(pkt, port, pkt.wire_bytes());
     if (rule == nullptr) {
       if (packet_in_) {
-        packet_in_(node_, pkt, in_port);
+        // Packet-in reaches into the controller; a transient table miss
+        // during a parallel window would cross shards unsynchronized.
+        sim::ShardedSimulator::assert_serial("packet-in inside a window");
+        packet_in_(node_, pkt, port);
       } else {
         ++dropped_;
       }
       return;
     }
-    apply_actions(rule->actions, pkt, in_port, /*allow_group=*/true);
+    apply_actions(rule->actions, std::move(pkt), port, /*allow_group=*/true);
   });
 }
 
@@ -80,11 +88,21 @@ void SdnSwitch::apply_actions(const std::vector<Action>& actions,
                               bool allow_group) {
   const std::size_t rewrites = count_set_fields(actions);
   if (rewrites > 0) {
-    cpu_.charge(network_->simulator().now(),
+    cpu_.charge(local_sim().now(),
                 costs_.switch_rewrite_cycles * static_cast<double>(rewrites));
   }
 
-  for (const auto& action : actions) {
+  // The last action that reads the packet takes it by move; only earlier
+  // Outputs / group buckets in a fan-out list pay a copy.  (Drop never
+  // reads, so it cannot be the last reader.)
+  std::size_t last_reader = actions.size();
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (!std::holds_alternative<DropAction>(actions[i])) last_reader = i;
+  }
+
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& action = actions[i];
+    const bool last = i == last_reader;
     if (const auto* set_src = std::get_if<SetSrc>(&action)) {
       packet.src = set_src->ip;
     } else if (const auto* set_dst = std::get_if<SetDst>(&action)) {
@@ -99,7 +117,11 @@ void SdnSwitch::apply_actions(const std::vector<Action>& actions,
       packet.mpls = net::kNoMpls;
     } else if (const auto* out = std::get_if<Output>(&action)) {
       ++forwarded_;
-      network_->transmit(node_, out->port, packet);
+      if (last) {
+        network_->transmit(node_, out->port, std::move(packet));
+      } else {
+        network_->transmit(node_, out->port, packet);
+      }
     } else if (const auto* grp = std::get_if<GroupAction>(&action)) {
       MIC_ASSERT_MSG(allow_group, "group chaining is not allowed");
       const GroupEntry* group = table_.group(grp->group_id);
@@ -110,24 +132,38 @@ void SdnSwitch::apply_actions(const std::vector<Action>& actions,
       }
       if (group->type == GroupType::kSelect) {
         // ECMP: one bucket, chosen by the flow hash.
-        cpu_.charge(network_->simulator().now(),
-                    costs_.switch_group_copy_cycles);
+        cpu_.charge(local_sim().now(), costs_.switch_group_copy_cycles);
         const std::size_t index = select_bucket(
             packet, group->buckets.size(),
             (static_cast<std::uint64_t>(node_) << 32) ^ group->group_id);
-        apply_actions(group->buckets[index], packet, in_port,
-                      /*allow_group=*/false);
+        if (last) {
+          apply_actions(group->buckets[index], std::move(packet), in_port,
+                        /*allow_group=*/false);
+        } else {
+          apply_actions(group->buckets[index], packet, in_port,
+                        /*allow_group=*/false);
+        }
       } else {
-        // ALL group: every bucket acts on its own copy.
-        cpu_.charge(network_->simulator().now(),
+        // ALL group: every bucket acts on its own copy -- except the final
+        // one, which inherits the packet when nothing else reads it after.
+        cpu_.charge(local_sim().now(),
                     costs_.switch_group_copy_cycles *
                         static_cast<double>(group->buckets.size()));
-        for (const auto& bucket : group->buckets) {
-          apply_actions(bucket, packet, in_port, /*allow_group=*/false);
+        for (std::size_t b = 0; b < group->buckets.size(); ++b) {
+          if (last && b + 1 == group->buckets.size()) {
+            apply_actions(group->buckets[b], std::move(packet), in_port,
+                          /*allow_group=*/false);
+          } else {
+            apply_actions(group->buckets[b], packet, in_port,
+                          /*allow_group=*/false);
+          }
         }
       }
     } else if (std::get_if<ToController>(&action)) {
-      if (packet_in_) packet_in_(node_, packet, in_port);
+      if (packet_in_) {
+        sim::ShardedSimulator::assert_serial("ToController inside a window");
+        packet_in_(node_, packet, in_port);
+      }
     } else if (std::get_if<DropAction>(&action)) {
       ++dropped_;
       return;

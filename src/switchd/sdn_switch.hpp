@@ -7,8 +7,10 @@
 // channel) or drop when no hook is installed.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "crypto/cost_model.hpp"
@@ -131,6 +133,11 @@ class SdnSwitch : public net::Device {
   mutable std::uint64_t dumps_served_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
+  // Packets waiting for their lookup CPU charge, in completion order:
+  // charge times are non-decreasing and same-time events fire in insertion
+  // order, so the FIFO front is always the packet whose event is firing and
+  // the event itself captures nothing but `this`.
+  std::deque<std::pair<net::Packet, topo::PortId>> ingress_fifo_;
 };
 
 }  // namespace mic::switchd

@@ -1,0 +1,58 @@
+#include "transport/arena.hpp"
+
+#include <atomic>
+
+#include "transport/stream.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define MIC_ARENA_NO_REUSE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MIC_ARENA_NO_REUSE 1
+#endif
+#endif
+
+namespace mic::transport {
+
+PayloadArena& PayloadArena::local() {
+  thread_local PayloadArena arena;
+  return arena;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> PayloadArena::copy(
+    std::span<const std::uint8_t> bytes) {
+#if !defined(MIC_ARENA_NO_REUSE)
+  // Round-robin probe from the last hit: buffers retire in roughly FIFO
+  // order, so in steady state the first probe usually lands on a free one.
+  const std::size_t slots = pool_.size();
+  const std::size_t probes = slots < kMaxProbes ? slots : kMaxProbes;
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    auto& slot = pool_[cursor_];
+    cursor_ = cursor_ + 1 == slots ? 0 : cursor_ + 1;
+    if (slot.use_count() == 1) {
+      // Pairs with the release decrement of the last remote reference:
+      // every read of the old contents happens-before this refill.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      slot->assign(bytes.begin(), bytes.end());
+      ++stats_.reuses;
+      return slot;
+    }
+  }
+#endif
+  ++stats_.allocations;
+  auto fresh =
+      std::make_shared<std::vector<std::uint8_t>>(bytes.begin(), bytes.end());
+#if !defined(MIC_ARENA_NO_REUSE)
+  if (pool_.size() < kMaxPooled) pool_.push_back(fresh);
+#endif
+  return fresh;
+}
+
+Chunk Chunk::copy(std::span<const std::uint8_t> bytes) {
+  Chunk c;
+  c.length = bytes.size();
+  c.data = PayloadArena::local().copy(bytes);
+  return c;
+}
+
+}  // namespace mic::transport

@@ -32,6 +32,10 @@ struct Chunk {
     c.data = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
     return c;
   }
+  /// Like real() for bytes that must be copied anyway, but the buffer comes
+  /// from the thread's PayloadArena freelist (arena.hpp): segmentation and
+  /// slicing stop heap-allocating per send.  Defined in arena.cpp.
+  static Chunk copy(std::span<const std::uint8_t> bytes);
   static Chunk virtual_bytes(std::uint64_t n) {
     Chunk c;
     c.length = n;
@@ -45,9 +49,8 @@ inline Chunk sub_chunk(const Chunk& chunk, std::uint64_t offset,
                        std::uint64_t len) {
   MIC_ASSERT(offset + len <= chunk.length);
   if (!chunk.is_real()) return Chunk::virtual_bytes(len);
-  return Chunk::real(std::vector<std::uint8_t>(
-      chunk.data->begin() + static_cast<long>(offset),
-      chunk.data->begin() + static_cast<long>(offset + len)));
+  return Chunk::copy(
+      std::span(chunk.data->data() + offset, static_cast<std::size_t>(len)));
 }
 
 /// A view of received in-order bytes.  `bytes` is empty for virtual data.
@@ -148,8 +151,8 @@ class ByteReader {
     const std::uint64_t take = std::min(n, front.length);
     Chunk out;
     if (!front.bytes.empty()) {
-      out = Chunk::real(std::vector<std::uint8_t>(
-          front.bytes.begin(), front.bytes.begin() + static_cast<long>(take)));
+      out = Chunk::copy(
+          std::span(front.bytes.data(), static_cast<std::size_t>(take)));
     } else {
       out = Chunk::virtual_bytes(take);
     }
@@ -220,9 +223,9 @@ class SendBuffer {
         if (!entry.chunk.is_real()) return Chunk::virtual_bytes(len);
         const auto& bytes = *entry.chunk.data;
         const std::uint64_t local = offset - entry.offset;
-        return Chunk::real(std::vector<std::uint8_t>(
-            bytes.begin() + static_cast<long>(local),
-            bytes.begin() + static_cast<long>(local + len)));
+        // Arena-backed: (re)transmission is THE per-send hot path.
+        return Chunk::copy(
+            std::span(bytes.data() + local, static_cast<std::size_t>(len)));
       }
     }
     // Slow path: stitch across chunks.

@@ -43,13 +43,14 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   EXPECT_EQ(report.first_violation(), "");
 
   const auto ids = audit::Registry::instance().ids();
-  ASSERT_EQ(ids.size(), 6u);
+  ASSERT_EQ(ids.size(), 7u);
   EXPECT_EQ(ids[0], "FT-1");
   EXPECT_EQ(ids[1], "CA-1");
   EXPECT_EQ(ids[2], "PE-1");
   EXPECT_EQ(ids[3], "FD-1");
   EXPECT_EQ(ids[4], "RC-1");
   EXPECT_EQ(ids[5], "SIM-2");
+  EXPECT_EQ(ids[6], "SIM-3");
 
   // Every check walked real state.
   EXPECT_GT(report.check("FT-1").items_checked, 0u);
@@ -63,6 +64,10 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   EXPECT_GT(report.check("FD-1").metric("mflow_rules"), 0u);
   // SIM-2 drove its bounded differential program through both engines.
   EXPECT_GT(report.check("SIM-2").metric("diff_ops"), 0u);
+  // SIM-3 ran its sharded/single differential AND executed real lookahead
+  // windows in the parallel leg.
+  EXPECT_GT(report.check("SIM-3").metric("diff_ops"), 0u);
+  EXPECT_GT(report.check("SIM-3").metric("parallel_windows"), 0u);
 }
 
 TEST(AuditRegistry, SchedulerEquivalenceRunsStandalone) {

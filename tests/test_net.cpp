@@ -198,6 +198,170 @@ TEST(Trace, DeterministicAcrossSeededRuns) {
   std::remove(path2.c_str());
 }
 
+TEST(Trace, HashRoundTripMatchesLiveTap) {
+  // The written trace carries everything TraceHash folds: re-hashing the
+  // parsed entries must reproduce the live fingerprint bit-exactly.
+  const std::string path = ::testing::TempDir() + "mic_trace_hash.tsv";
+  std::uint64_t live_hash = 0;
+  std::uint64_t live_packets = 0;
+  {
+    TwoNodeFixture fix;
+    net::TraceWriter writer(fix.network, path);
+    net::TraceHash hash(fix.network);
+    for (int i = 0; i < 8; ++i) {
+      Packet p = fix.make_packet(64 + static_cast<std::uint32_t>(i));
+      p.mpls = static_cast<MplsLabel>(0x100 + i);
+      p.content_tag = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+      p.tcp.seq = static_cast<std::uint64_t>(i) * 1000;
+      p.tcp.flags.syn = (i == 0);
+      p.tcp.flags.ack = (i > 0);
+      ASSERT_TRUE(fix.network.transmit(i % 2 == 0 ? fix.a : fix.b, 0, p));
+      fix.simulator.run_until();
+    }
+    live_hash = hash.value();
+    live_packets = hash.packets();
+    EXPECT_EQ(writer.entries_written(), live_packets);
+  }
+  const auto entries = net::load_trace(path);
+  ASSERT_EQ(entries.size(), live_packets);
+  EXPECT_EQ(net::trace_hash_of(entries), live_hash);
+  std::remove(path.c_str());
+}
+
+namespace {
+std::string write_temp_trace(const std::string& name,
+                             const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+constexpr const char* kTraceHeader =
+    "time_ns\tlink\tfrom\tto\tsrc\tdst\tsport\tdport\tmpls\tseq\tack\t"
+    "flags\tbytes\tpayload\ttag\n";
+
+constexpr const char* kGoodRecord =
+    "100\t0\t0\t1\t10.0.0.1\t10.0.0.2\t40000\t7000\t4294967295\t5\t6\t12\t"
+    "154\t100\tdeadbeef\n";
+}  // namespace
+
+TEST(Trace, CheckedParserAcceptsWellFormedFile) {
+  const std::string path = write_temp_trace(
+      "mic_trace_ok.tsv", std::string(kTraceHeader) + kGoodRecord);
+  const net::TraceParseResult result = net::load_trace_checked(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].time, 100u);
+  EXPECT_EQ(result.entries[0].sport, 40000u);
+  EXPECT_EQ(result.entries[0].tcp_flag_bits, 12u);
+  EXPECT_EQ(result.entries[0].content_tag, 0xdeadbeefu);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CheckedParserRejectsBadHeader) {
+  const std::string path = write_temp_trace(
+      "mic_trace_badhdr.tsv", std::string("time\tlink\n") + kGoodRecord);
+  const net::TraceParseResult result = net::load_trace_checked(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 1u);
+  EXPECT_NE(result.error.find("header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CheckedParserRejectsTruncatedRecord) {
+  // A record cut mid-way (e.g. a crashed writer) has too few fields; the
+  // parser must name the line instead of silently skipping it.
+  const std::string path = write_temp_trace(
+      "mic_trace_trunc.tsv",
+      std::string(kTraceHeader) + kGoodRecord + "200\t0\t0\t1\t10.0.0.1");
+  const net::TraceParseResult result = net::load_trace_checked(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 3u);
+  EXPECT_NE(result.error.find("15 fields"), std::string::npos);
+  // Everything before the bad line survives for forensics.
+  EXPECT_EQ(result.entries.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CheckedParserRejectsTrailingGarbage) {
+  std::string record(kGoodRecord);
+  record.insert(record.size() - 1, "\textra");
+  const std::string path = write_temp_trace(
+      "mic_trace_garbage.tsv", std::string(kTraceHeader) + record);
+  const net::TraceParseResult result = net::load_trace_checked(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2u);
+  EXPECT_NE(result.error.find("trailing"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CheckedParserRejectsMalformedAddress) {
+  std::string record(kGoodRecord);
+  const std::size_t at = record.find("10.0.0.2");
+  record.replace(at, 8, "10.0.999.2");
+  const std::string path = write_temp_trace(
+      "mic_trace_badip.tsv", std::string(kTraceHeader) + record);
+  const net::TraceParseResult result = net::load_trace_checked(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2u);
+  EXPECT_NE(result.error.find("destination address"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CheckedParserRejectsOutOfRangeFields) {
+  {
+    std::string record(kGoodRecord);
+    record.replace(record.find("40000"), 5, "70000");  // sport > 0xffff
+    const std::string path = write_temp_trace(
+        "mic_trace_badport.tsv", std::string(kTraceHeader) + record);
+    const net::TraceParseResult result = net::load_trace_checked(path);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 2u);
+    EXPECT_NE(result.error.find("port"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  {
+    std::string record(kGoodRecord);
+    record.replace(record.find("\t12\t"), 4, "\t16\t");  // flags > 0xf
+    const std::string path = write_temp_trace(
+        "mic_trace_badflags.tsv", std::string(kTraceHeader) + record);
+    const net::TraceParseResult result = net::load_trace_checked(path);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 2u);
+    EXPECT_NE(result.error.find("flag"), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Trace, CheckedParserRejectsBlankLineAndEmptyFile) {
+  {
+    const std::string path = write_temp_trace(
+        "mic_trace_blank.tsv",
+        std::string(kTraceHeader) + "\n" + kGoodRecord);
+    const net::TraceParseResult result = net::load_trace_checked(path);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 2u);
+    std::remove(path.c_str());
+  }
+  {
+    const std::string path = write_temp_trace("mic_trace_empty.tsv", "");
+    const net::TraceParseResult result = net::load_trace_checked(path);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 0u);
+    std::remove(path.c_str());
+  }
+  {
+    const net::TraceParseResult result =
+        net::load_trace_checked("/nonexistent/mic_trace_nope.tsv");
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 0u);
+    EXPECT_NE(result.error.find("open"), std::string::npos);
+  }
+}
+
 TEST(Addr, Ipv4Formatting) {
   const Ipv4 ip(10, 1, 2, 3);
   EXPECT_EQ(ip.str(), "10.1.2.3");
