@@ -40,6 +40,12 @@ echo "== perf-regression guards =="
 ./build/bench/micro_sim --min_speedup 1.0
 ./build/bench/macro_dataplane --k 4 --flows 4 --mb 2 --reps 3 --min_speedup 0.7
 
+echo "== admission flood guard =="
+# Honest establishment p99 under a 10x flood + slowloris trickle must stay
+# within a fixed multiple of the unloaded p99 (latencies are simulated
+# time, so this is exact, not a wall-clock threshold).
+./build/bench/control_flood --smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitized (address,undefined) =="
   run_suite build-asan -DMIC_SANITIZE=address
@@ -47,6 +53,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitized (thread, warm-up threads >= 4, 4 sim shards) =="
   MIC_PATH_WARMUP_THREADS=4 MIC_SIM_SHARDS=4 run_suite build-tsan \
     -DMIC_SANITIZE=thread
+
+  echo "== flood soak under TSan (sharded attack replay) =="
+  # The admission flood + slowloris soak on the sharded engine under the
+  # race detector: the attack schedule draws all randomness at arm() time,
+  # so the shard pool must replay it bit-identically.
+  MIC_PATH_WARMUP_THREADS=4 MIC_SIM_SHARDS=4 ./build-tsan/tests/mic_tests \
+    --gtest_filter='FloodSoak.*'
 
   echo "== scheduler differential, deep (SIM-2 oracle x20k ops/seed) =="
   # The default suite already fuzzes >10k ops; the instrumented tier is

@@ -323,6 +323,78 @@ CheckResult check_sharded_equivalence(core::MimicController&) {
   return result;
 }
 
+CheckResult check_admission_conservation(core::MimicController& mc) {
+  // AC-1: queued + admitted + shed == offered, and no tenant exceeds its
+  // quota.  Concretely: (a) every offered establish is accounted exactly
+  // once -- admitted (past or in flight), shed with a Busy reply, or still
+  // queued; (b) the same conservation holds for half-open control sessions
+  // (opened == completed + reaped + live); (c) with limits enabled, no
+  // tenant holds more pending work or half-open sessions than its quota
+  // and no bucket holds more than burst tokens; (d) every half-open
+  // session past its idle deadline has a live reaper timer (no zombies).
+  CheckResult result;
+  const ctrl::AdmissionController& ac = mc.admission();
+  const ctrl::AdmissionController::Stats& stats = ac.stats();
+  const ctrl::AdmissionConfig& config = ac.config();
+
+  const std::uint64_t accounted =
+      stats.admitted + stats.shed + static_cast<std::uint64_t>(ac.queued_count());
+  if (stats.offered != accounted) {
+    result.violations.push_back(
+        "request conservation broken: offered=" + std::to_string(stats.offered) +
+        " != admitted+shed+queued=" + std::to_string(accounted));
+  }
+  ++result.items_checked;
+
+  const std::uint64_t sessions_accounted =
+      stats.sessions_completed + stats.sessions_reaped +
+      static_cast<std::uint64_t>(ac.half_open_count());
+  if (stats.sessions_opened != sessions_accounted) {
+    result.violations.push_back(
+        "session conservation broken: opened=" +
+        std::to_string(stats.sessions_opened) +
+        " != completed+reaped+live=" + std::to_string(sessions_accounted));
+  }
+  ++result.items_checked;
+
+  for (const auto& tenant : ac.tenant_snapshot()) {
+    const std::string who = "tenant " + std::to_string(tenant.tenant);
+    if (config.enabled && tenant.pending > config.tenant_pending_quota) {
+      result.violations.push_back(
+          who + " exceeds pending quota: " + std::to_string(tenant.pending) +
+          " > " + std::to_string(config.tenant_pending_quota));
+    }
+    if (config.enabled && tenant.half_open > config.tenant_half_open_quota) {
+      result.violations.push_back(
+          who + " exceeds half-open quota: " +
+          std::to_string(tenant.half_open) + " > " +
+          std::to_string(config.tenant_half_open_quota));
+    }
+    if (tenant.tokens < -1e-6 || tenant.tokens > config.tenant_burst + 1e-6) {
+      result.violations.push_back(who + " bucket out of range [0, burst]");
+    }
+    ++result.items_checked;
+  }
+
+  for (const std::uint64_t id : ac.zombie_sessions()) {
+    result.violations.push_back("half-open session " + std::to_string(id) +
+                                " is past its deadline with no reaper armed");
+  }
+  ++result.items_checked;
+
+  result.metrics.emplace_back("offered", stats.offered);
+  result.metrics.emplace_back("admitted", stats.admitted);
+  result.metrics.emplace_back("shed", stats.shed);
+  result.metrics.emplace_back("exempt", stats.exempt);
+  result.metrics.emplace_back(
+      "queued", static_cast<std::uint64_t>(ac.queued_count()));
+  result.metrics.emplace_back(
+      "half_open", static_cast<std::uint64_t>(ac.half_open_count()));
+  result.metrics.emplace_back("sessions_reaped", stats.sessions_reaped);
+  result.ok = result.violations.empty();
+  return result;
+}
+
 }  // namespace
 
 const CheckResult& RunReport::check(std::string_view id) const {
@@ -369,6 +441,8 @@ Registry::Registry() {
       check_scheduler_equivalence);
   add("SIM-3", "sharded / single-engine equivalence",
       check_sharded_equivalence);
+  add("AC-1", "control-plane admission conservation",
+      check_admission_conservation);
 }
 
 Registry& Registry::instance() {

@@ -10,6 +10,7 @@
 #include "core/maga_registry.hpp"
 #include "crypto/aes128.hpp"
 #include "net/addr.hpp"
+#include "sim/time.hpp"
 #include "topology/graph.hpp"
 
 namespace mic::core {
@@ -86,10 +87,25 @@ struct EntryAddress {
 
 struct EstablishResult {
   bool ok = false;
+  /// Load-shed by admission control: the MC is alive but refused the work.
+  /// Distinct from ok == false errors (which are final) and from silence
+  /// (which means the MC is down) -- the client should back off for
+  /// `retry_after` and try again.
+  bool busy = false;
+  sim::SimTime retry_after = 0;
   std::string error;
   ChannelId channel = 0;
   std::vector<EntryAddress> entries;  // one per m-flow
 };
+
+/// The Busy{retry_after} control reply admission control sheds with.
+inline EstablishResult busy_result(sim::SimTime retry_after) {
+  EstablishResult result;
+  result.busy = true;
+  result.retry_after = retry_after;
+  result.error = "controller busy; retry after backoff";
+  return result;
+}
 
 // --- control-channel wire format -------------------------------------------
 //

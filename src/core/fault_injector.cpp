@@ -161,6 +161,89 @@ void FaultInjector::arm() {
       }
     });
   }
+
+  // Control-plane attack traffic, drawn after every fault draw above (the
+  // same append-only rule as the MC crashes): enabling the flood or the
+  // slow-client trickle never perturbs an existing seed's fault schedule.
+  // All randomness is drawn here at arm() time -- the scheduled callbacks
+  // touch no rng, so the attack replays bit-identically under sharding.
+  if (options_.establish_floods > 0 || options_.slow_client_sessions > 0) {
+    std::vector<topo::NodeId> hosts = graph.hosts();
+    MIC_ASSERT(!hosts.empty());
+    rng_.shuffle(hosts);
+    std::size_t next_host = 0;
+    auto pick_host = [&] { return hosts[next_host++ % hosts.size()]; };
+
+    for (int burst = 0; burst < options_.establish_floods; ++burst) {
+      const sim::SimTime burst_at = fault_time();
+      for (int a = 0; a < options_.flood_attackers; ++a) {
+        const topo::NodeId attacker_host = pick_host();
+        const net::Ipv4 attacker = mc_.addressing().ip_of(attacker_host);
+        // Key exchange done in advance (register_client is idempotent and
+        // keys survive MC crashes), so the flood itself spends no MC rng.
+        mc_.register_client(attacker);
+        attacker_ips_.push_back(attacker);
+        schedule_log_.push_back(
+            "flood " + std::to_string(options_.flood_requests) +
+            " establishes from host " + std::to_string(attacker_host) +
+            " @" + us(burst_at) + " over " + us(options_.flood_duration));
+        for (int r = 0; r < options_.flood_requests; ++r) {
+          const sim::SimTime at =
+              burst_at +
+              rng_.below(std::max<sim::SimTime>(options_.flood_duration, 1));
+          const std::uint64_t counter = rng_.next();
+          sim.schedule_in(at, [this, attacker, counter] {
+            send_flood_request(attacker, counter);
+          });
+        }
+      }
+    }
+
+    for (int s = 0; s < options_.slow_client_sessions; ++s) {
+      const topo::NodeId host = pick_host();
+      const net::Ipv4 client = mc_.addressing().ip_of(host);
+      const sim::SimTime open_at = fault_time();
+      schedule_log_.push_back("slow-client session from host " +
+                              std::to_string(host) + " @" + us(open_at) +
+                              ", " +
+                              std::to_string(options_.slow_client_touches) +
+                              " touches, abandoned");
+      // The id is only known once the open fires; the touch events share it.
+      auto id = std::make_shared<MimicController::ControlSessionId>(0);
+      sim.schedule_in(open_at, [this, client, id] {
+        *id = mc_.open_control_session(client);
+        if (*id != 0) ++slow_sessions_opened_;
+      });
+      for (int t = 1; t <= options_.slow_client_touches; ++t) {
+        sim.schedule_in(open_at + t * options_.slow_client_touch_gap,
+                        [this, id] {
+                          if (*id != 0) mc_.touch_control_session(*id);
+                        });
+      }
+      // ...and never completed: the half-open reaper must collect it.
+    }
+  }
+}
+
+void FaultInjector::send_flood_request(net::Ipv4 attacker,
+                                       std::uint64_t counter) {
+  // A well-formed, correctly encrypted request for a hidden service that
+  // does not exist: the MC pays admission, decrypt and parse, then fails
+  // planning -- pure control-plane load, no channel state left behind.
+  EstablishRequest request;
+  request.initiator_ip = attacker;
+  request.service_name = "__chaff__";
+  request.flow_count = 1;
+  request.mn_count = 3;
+  request.initiator_sports = {40000};
+  std::vector<std::uint8_t> bytes = serialize_request(request);
+  crypt_control_message(mc_.register_client(attacker), counter, bytes);
+  ++flood_sent_;
+  mc_.async_establish(attacker, std::move(bytes), counter,
+                      [this](const EstablishResult& result) {
+                        ++flood_answered_;
+                        if (result.busy) ++flood_shed_;
+                      });
 }
 
 }  // namespace mic::core

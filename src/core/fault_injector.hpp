@@ -66,6 +66,26 @@ struct FaultInjectorOptions {
   /// resync sweep then finds switches ahead of the journal and tears the
   /// unknown cookies down (reconcile-by-audit).
   int mc_crash_truncate_records = 0;
+
+  /// Establishment floods: per burst, `flood_attackers` random hosts each
+  /// fire `flood_requests` properly-encrypted establish requests (to an
+  /// unknown hidden service -- pure control-plane load: the MC pays
+  /// admission, decrypt and parse for every admitted one) at uniformly
+  /// random offsets over `flood_duration`.  Drawn after the MC-crash draws
+  /// (the same append-only rule), so enabling floods never perturbs an
+  /// existing seed's schedule.
+  int establish_floods = 0;
+  int flood_attackers = 2;
+  int flood_requests = 100;
+  sim::SimTime flood_duration = sim::milliseconds(5);
+
+  /// Slowloris-style trickle: this many control sessions are opened by
+  /// random hosts at random times, touched `slow_client_touches` times at
+  /// `slow_client_touch_gap` intervals, then abandoned -- never completed.
+  /// The admission reaper must clean every one of them up.
+  int slow_client_sessions = 0;
+  int slow_client_touches = 2;
+  sim::SimTime slow_client_touch_gap = sim::milliseconds(2);
 };
 
 class FaultInjector {
@@ -81,6 +101,21 @@ class FaultInjector {
   std::size_t switches_crashed() const noexcept { return switches_crashed_; }
   std::size_t bursts_fired() const noexcept { return bursts_fired_; }
   std::size_t mc_crashes_fired() const noexcept { return mc_crashes_fired_; }
+  /// Flood-attack outcome: requests sent, answers seen, and how many of
+  /// those answers were admission sheds (Busy replies).  Dropped requests
+  /// (MC crashed mid-flood) answer nothing.
+  std::uint64_t flood_sent() const noexcept { return flood_sent_; }
+  std::uint64_t flood_answered() const noexcept { return flood_answered_; }
+  std::uint64_t flood_shed() const noexcept { return flood_shed_; }
+  /// Slow-client sessions actually opened (quota rejections excluded).
+  std::uint64_t slow_sessions_opened() const noexcept {
+    return slow_sessions_opened_;
+  }
+  /// Tenants the flood schedule fires from (known once arm() ran) -- the
+  /// flood bench keeps its honest clients disjoint from these.
+  const std::vector<net::Ipv4>& attacker_ips() const noexcept {
+    return attacker_ips_;
+  }
   /// Recovery reports from every MC recover() the schedule performed.
   const std::vector<MimicController::RecoveryReport>& recoveries()
       const noexcept {
@@ -101,10 +136,18 @@ class FaultInjector {
   /// Switches currently down, as the *injector* sequenced them (the MC has
   /// its own view that lags by the detection pipeline).
   std::unordered_set<topo::NodeId> crashed_now_;
+  /// Fire one encrypted chaff establish and count its (possible) answer.
+  void send_flood_request(net::Ipv4 attacker, std::uint64_t counter);
+
   std::size_t links_flapped_ = 0;
   std::size_t switches_crashed_ = 0;
   std::size_t bursts_fired_ = 0;
   std::size_t mc_crashes_fired_ = 0;
+  std::uint64_t flood_sent_ = 0;
+  std::uint64_t flood_answered_ = 0;
+  std::uint64_t flood_shed_ = 0;
+  std::uint64_t slow_sessions_opened_ = 0;
+  std::vector<net::Ipv4> attacker_ips_;
   std::vector<MimicController::RecoveryReport> recoveries_;
   std::vector<std::string> schedule_log_;
 };

@@ -57,6 +57,11 @@ void MicChannel::start_establish() {
   control_counter_ = host_.fresh_stream_uid();
   crypt_control_message(key, control_counter_, bytes);
 
+  // Re-establishments of a lost channel ride the admission controller's
+  // repair class, which outranks fresh establishes in its queue.
+  const ctrl::AdmitPriority priority = reestablish_attempts_ > 0
+                                           ? ctrl::AdmitPriority::kRepair
+                                           : ctrl::AdmitPriority::kFresh;
   const std::uint64_t gen = generation_;
   mc_.async_establish(host_.ip(), std::move(bytes), control_counter_,
                       [this, gen](const EstablishResult& result) {
@@ -68,7 +73,8 @@ void MicChannel::start_establish() {
                           return;
                         }
                         on_established(result);
-                      });
+                      },
+                      priority);
   if (options_.control_timeout > 0) arm_establish_timeout();
 }
 
@@ -220,6 +226,27 @@ void MicChannel::on_channel_event(MimicController::ChannelEvent event,
 }
 
 void MicChannel::on_established(const EstablishResult& result) {
+  if (result.busy) {
+    // The MC is alive but shed the request under load: back off for the
+    // server-provided interval (plus jitter so a shed herd does not
+    // return in lockstep), not the generic silence/timeout path -- the
+    // reply itself proves the controller is up.
+    ++times_shed_;
+    silence_streak_ = 0;
+    retire_flows();  // bumps the generation; the watchdog goes stale
+    if (times_shed_ > static_cast<std::uint64_t>(options_.shed_retry_limit)) {
+      fail_with("controller busy: shed retry budget exhausted");
+      return;
+    }
+    const sim::SimTime base = std::max<sim::SimTime>(result.retry_after, 1);
+    const sim::SimTime wait = base + rng_.below(base / 2 + 1);
+    const std::uint64_t gen = generation_;
+    host_.simulator().schedule_in(wait, [this, gen] {
+      if (gen != generation_ || user_closed_) return;
+      start_establish();
+    });
+    return;
+  }
   if (!result.ok) {
     if (options_.auto_reestablish &&
         reestablish_attempts_ < options_.reestablish_limit &&

@@ -57,6 +57,11 @@ struct MicChannelOptions {
   /// (the default, so existing workloads stay event-for-event identical).
   sim::SimTime control_timeout = 0;
   int control_retry_limit = 8;
+  /// Budget for Busy{retry_after} shed replies: each one is retried after
+  /// the server-provided interval (plus jitter), up to this many times
+  /// before the channel gives up.  Distinct from the silence budget above:
+  /// a busy MC is alive and asking for patience, not crashed.
+  int shed_retry_limit = 16;
   /// Opt-in liveness heartbeat: every `heartbeat_interval` the client
   /// probes the MC for this channel, re-registering its event listener on
   /// the way (an MC restart wipes subscriptions; kept channels would
@@ -98,6 +103,9 @@ class MicChannel : public transport::ByteStream {
   const std::string& error() const noexcept { return error_; }
   /// MC-side transparent repairs survived (endpoints kept, path moved).
   std::uint64_t repair_count() const noexcept { return repairs_; }
+  /// Establishment requests the MC load-shed (Busy{retry_after} replies);
+  /// each was retried after the server-provided backoff.
+  std::uint64_t times_shed() const noexcept { return times_shed_; }
   /// Automatic re-establishments attempted so far.
   int reestablish_attempts() const noexcept { return reestablish_attempts_; }
   /// Control-channel timeouts observed (unacknowledged establishments and
@@ -167,6 +175,7 @@ class MicChannel : public transport::ByteStream {
   int flows_ready_ = 0;
   int reestablish_attempts_ = 0;
   std::uint64_t repairs_ = 0;
+  std::uint64_t times_shed_ = 0;
   std::uint64_t silences_ = 0;
   /// Consecutive unanswered control requests; reset on any MC reply.
   int silence_streak_ = 0;

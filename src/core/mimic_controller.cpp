@@ -25,7 +25,8 @@ MimicController::MimicController(net::Network& network,
                     ? Rng(mic_config.shared_secret_seed)
                     : rng_.fork(),
                 mic_config.flow_ids),
-      restrictions_(network.graph(), paths(), Controller::addressing()) {
+      restrictions_(network.graph(), paths(), Controller::addressing()),
+      admission_(network.simulator(), mic_config.admission) {
   // Namespacing for co-deployed controllers: channel IDs (and therefore
   // rule cookies) and group IDs never collide across instances.
   next_channel_ =
@@ -678,6 +679,9 @@ EstablishResult MimicController::establish(const EstablishRequest& request) {
     down.error = "controller unavailable";
     return down;
   }
+  const ctrl::AdmissionController::Ticket ticket =
+      admission_.offer_sync(request.initiator_ip);
+  if (!ticket.admitted) return busy_result(ticket.retry_after);
   std::vector<InstallOp> ops;
   EstablishResult result = plan_channel(request, ops);
   if (!result.ok) return result;
@@ -700,6 +704,11 @@ std::vector<EstablishResult> MimicController::establish_batch(
   // Group by destination so one warm PathEngine row serves every channel
   // headed there before the planner moves on; stable so same-destination
   // requests keep their relative order (and with it the rng_ draw order).
+  // Admission happens per request inside establish(), so a batch spends
+  // tokens exactly like the same requests sent one at a time -- batching
+  // is a planner-cache optimization, not a quota bypass.  Which requests
+  // of an over-budget batch get shed follows this destination-grouped
+  // processing order; the results still come back in request order.
   std::vector<std::size_t> order(requests.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   const auto dest_key = [](const EstablishRequest& r) {
@@ -718,79 +727,144 @@ std::vector<EstablishResult> MimicController::establish_batch(
 void MimicController::async_establish(
     net::Ipv4 client, std::vector<std::uint8_t> encrypted_request,
     std::uint64_t message_counter,
-    std::function<void(EstablishResult)> on_result) {
+    std::function<void(EstablishResult)> on_result,
+    ctrl::AdmitPriority priority) {
   if (crashed_) return;  // a dead MC answers nothing, not even errors
   auto& simulator = network().simulator();
   simulator.schedule_in(
       mic_config_.control_latency,
-      [this, client, enc = std::move(encrypted_request), message_counter,
-       cb = std::move(on_result)]() mutable {
+      [this, client, priority, enc = std::move(encrypted_request),
+       message_counter, cb = std::move(on_result)]() mutable {
         if (crashed_) return;  // crashed while the request was in flight
-        const auto key_it = client_keys_.find(client.value);
-        MIC_ASSERT_MSG(key_it != client_keys_.end(),
-                       "client must register_client() before establishing");
-        std::vector<std::uint8_t> bytes = std::move(enc);
-        crypt_control_message(key_it->second, message_counter, bytes);
-        const EstablishRequest request = deserialize_request(bytes);
+        // Admission happens on arrival, before any decrypt CPU is spent --
+        // the tenant (the client address) and the priority class are
+        // transport-level facts, so a shed request costs the MC nothing
+        // but the Busy reply.  Exactly one of run/shed fires, so sharing
+        // the callback is safe.
+        auto shared_cb =
+            std::make_shared<std::function<void(EstablishResult)>>(
+                std::move(cb));
+        admission_.offer(
+            client, priority,
+            /*run=*/
+            [this, client, enc = std::move(enc), message_counter,
+             shared_cb]() mutable {
+              service_establish(client, std::move(enc), message_counter,
+                                std::move(*shared_cb));
+            },
+            /*shed=*/
+            [this, shared_cb](sim::SimTime retry_after) {
+              network().simulator().schedule_in(
+                  mic_config_.control_latency,
+                  [shared_cb, retry_after] {
+                    (*shared_cb)(busy_result(retry_after));
+                  });
+            });
+      });
+}
 
-        const auto& costs = crypto::default_cost_model();
-        const double cycles =
-            costs.mic_request_fixed_cycles +
-            costs.aes_crypt_cycles(bytes.size()) +
-            costs.mic_route_calc_cycles_per_flow * request.flow_count;
-        const sim::SimTime done =
-            mc_cpu_.charge(network().simulator().now(), cycles);
+void MimicController::service_establish(
+    net::Ipv4 client, std::vector<std::uint8_t> bytes,
+    std::uint64_t message_counter,
+    std::function<void(EstablishResult)> on_result) {
+  const auto key_it = client_keys_.find(client.value);
+  MIC_ASSERT_MSG(key_it != client_keys_.end(),
+                 "client must register_client() before establishing");
+  crypt_control_message(key_it->second, message_counter, bytes);
+  const EstablishRequest request = deserialize_request(bytes);
+  // The admission service slot is held until the ack (or error) leaves:
+  // in-service covers the whole plan/install pipeline.  The epoch guard
+  // keeps a completion that straddles a crash from corrupting the books
+  // of the next MC life.
+  const std::uint64_t admit_epoch = admission_.epoch();
+  auto cb = std::move(on_result);
 
-        network().simulator().schedule_at(done, [this, request,
-                                                 cb = std::move(cb)] {
-          if (crashed_) return;
-          std::vector<InstallOp> ops;
-          EstablishResult result = plan_channel(request, ops);
-          if (!result.ok) {
-            network().simulator().schedule_in(
-                config().southbound_latency + mic_config_.control_latency,
-                [cb = std::move(cb), result = std::move(result)] {
-                  cb(result);
-                });
-            return;
+  const auto& costs = crypto::default_cost_model();
+  const double cycles =
+      costs.mic_request_fixed_cycles +
+      costs.aes_crypt_cycles(bytes.size()) +
+      costs.mic_route_calc_cycles_per_flow * request.flow_count;
+  const sim::SimTime done =
+      mc_cpu_.charge(network().simulator().now(), cycles);
+
+  network().simulator().schedule_at(done, [this, client, request, admit_epoch,
+                                           cb = std::move(cb)] {
+    if (crashed_) return;
+    std::vector<InstallOp> ops;
+    EstablishResult result = plan_channel(request, ops);
+    if (!result.ok) {
+      admission_.finish(client, admit_epoch);
+      network().simulator().schedule_in(
+          config().southbound_latency + mic_config_.control_latency,
+          [cb = std::move(cb), result = std::move(result)] {
+            cb(result);
+          });
+      return;
+    }
+    // The acknowledgement leaves once every rule is confirmed (an
+    // install that fails after retries rolls the channel back and
+    // turns the ack into an error).
+    const ChannelId id = result.channel;
+    commit_async(
+        id, /*txn=*/1, std::move(ops),
+        [this, client, id, admit_epoch, result = std::move(result),
+         cb = std::move(cb)](bool committed) mutable {
+          if (crashed_) return;  // true silence: the client times out
+          admission_.finish(client, admit_epoch);
+          const auto it = channels_.find(id);
+          const bool alive = it != channels_.end();
+          const bool current =
+              alive && it->second.install_txn == 1;
+          if (!committed && current) {
+            for (const MFlowPlan& plan : it->second.flows) {
+              release_plan_resources(plan);
+            }
+            journal_.record_teardown(id);
+            channels_.erase(it);
+            listeners_.erase(id);
+            result = EstablishResult{};
+            result.error = "rule install failed after retries";
+          } else if (!committed && !alive) {
+            result = EstablishResult{};
+            result.error = "channel lost during establishment";
           }
-          // The acknowledgement leaves once every rule is confirmed (an
-          // install that fails after retries rolls the channel back and
-          // turns the ack into an error).
-          const ChannelId id = result.channel;
-          commit_async(
-              id, /*txn=*/1, std::move(ops),
-              [this, id, result = std::move(result),
-               cb = std::move(cb)](bool committed) mutable {
-                if (crashed_) return;  // true silence: the client times out
-                const auto it = channels_.find(id);
-                const bool alive = it != channels_.end();
-                const bool current =
-                    alive && it->second.install_txn == 1;
-                if (!committed && current) {
-                  for (const MFlowPlan& plan : it->second.flows) {
-                    release_plan_resources(plan);
-                  }
-                  journal_.record_teardown(id);
-                  channels_.erase(it);
-                  listeners_.erase(id);
-                  result = EstablishResult{};
-                  result.error = "rule install failed after retries";
-                } else if (!committed && !alive) {
-                  result = EstablishResult{};
-                  result.error = "channel lost during establishment";
-                }
-                // committed, or superseded by a repair with the channel
-                // still alive: the entry addresses are stable across
-                // re-planning, so the original acknowledgement stands.
-                network().simulator().schedule_in(
-                    mic_config_.control_latency,
-                    [cb = std::move(cb), result = std::move(result)] {
-                      cb(result);
-                    });
+          // committed, or superseded by a repair with the channel
+          // still alive: the entry addresses are stable across
+          // re-planning, so the original acknowledgement stands.
+          network().simulator().schedule_in(
+              mic_config_.control_latency,
+              [cb = std::move(cb), result = std::move(result)] {
+                cb(result);
               });
         });
-      });
+  });
+}
+
+MimicController::ControlSessionId MimicController::open_control_session(
+    net::Ipv4 client) {
+  if (crashed_) return 0;  // silent, like every control entry point
+  return admission_.open_session(client);
+}
+
+bool MimicController::touch_control_session(ControlSessionId id) {
+  if (crashed_) return false;
+  return admission_.touch_session(id);
+}
+
+bool MimicController::complete_control_session(
+    ControlSessionId id, net::Ipv4 client,
+    std::vector<std::uint8_t> encrypted_request,
+    std::uint64_t message_counter,
+    std::function<void(EstablishResult)> on_result,
+    ctrl::AdmitPriority priority) {
+  if (crashed_) return false;
+  // A reaped (or pre-crash) session is gone: the late completion is
+  // dropped, which is exactly how the tracker keeps a slow client from
+  // pinning state -- it has to start over.
+  if (!admission_.complete_session(id)) return false;
+  async_establish(client, std::move(encrypted_request), message_counter,
+                  std::move(on_result), priority);
+  return true;
 }
 
 void MimicController::release_plan_resources(const MFlowPlan& plan) {
@@ -1139,6 +1213,9 @@ void MimicController::crash() {
   listeners_.clear();
   reserved_endpoints_.clear();
   registry_.reset_allocations();
+  // Admission state (queued requests, half-open sessions, buckets) is soft
+  // too: queued work dies silently and the reaper timers are cancelled.
+  admission_.reset();
   next_channel_ =
       (static_cast<ChannelId>(mic_config_.instance_id) << 32) + 1;
   next_group_ = (mic_config_.instance_id << 24) + 1;
@@ -1361,6 +1438,10 @@ std::size_t MimicController::verify_channel_rules(
 void MimicController::probe_channel(ChannelId id, ChannelListener listener,
                                     std::function<void(bool)> on_result) {
   if (crashed_) return;  // the client's timeout is the answer
+  // Liveness probes are exempt from the admission token buckets: a tenant
+  // whose establishment budget an attacker (or its own burst) drained must
+  // still hear whether its existing channels are alive.
+  admission_.note_exempt();
   network().simulator().schedule_in(
       mic_config_.control_latency,
       [this, id, listener = std::move(listener),

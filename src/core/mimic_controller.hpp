@@ -16,6 +16,7 @@
 #include "core/channel.hpp"
 #include "core/channel_journal.hpp"
 #include "core/maga_registry.hpp"
+#include "ctrl/admission.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/l3_routing.hpp"
 #include "sim/cpu.hpp"
@@ -42,6 +43,14 @@ struct MicConfig {
   /// Compact the write-ahead channel journal whenever it grows past this
   /// many records (0 = never compact).
   std::size_t journal_compaction_threshold = 1024;
+
+  // --- control-plane admission control ----------------------------------------
+  /// Per-tenant token buckets, the bounded priority establish queue and the
+  /// half-open-session reaper in front of every establishment entry point.
+  /// The defaults are generous enough that ordinary workloads never
+  /// saturate, which keeps every existing run bit-identical (SIM-1);
+  /// tighten them to defend a real deployment (see DESIGN.md Sec 3h).
+  ctrl::AdmissionConfig admission;
 
   // --- distributed-controller deployment (paper Sec VI-C) --------------------
   /// Distinguishes this controller instance: channel IDs, rule cookies and
@@ -81,29 +90,71 @@ class MimicController : public ctrl::Controller {
   }
 
   // --- channel establishment ------------------------------------------------
+  //
+  // Every establishment entry point passes through the admission
+  // controller first (per-tenant token buckets, bounded priority queue,
+  // load shedding -- see ctrl/admission.hpp): a shed request is answered
+  // with a Busy{retry_after} result instead of silence.  Probe/heartbeat
+  // traffic is exempt, so an attacked tenant's live channels keep their
+  // liveness detection.
 
   /// Synchronous planning + immediate rule install.  Used by benchmarks
   /// and tests.  Installation is all-or-nothing: if any switch rejects a
   /// rule, everything already installed is rolled back and the result
-  /// carries the error.
+  /// carries the error.  The caller cannot wait, so admission here is
+  /// admit-or-shed (a token is drawn or the result says busy).
   EstablishResult establish(const EstablishRequest& request);
 
-  /// The full control-plane path: the encrypted request is decrypted and
-  /// parsed (both charged to the MC CPU), the routing computed, rules
-  /// installed with southbound latency, and the callback invoked when the
-  /// encrypted acknowledgement reaches the client.
+  /// The full control-plane path: admission (tenant = the client address,
+  /// classified before any decrypt CPU is spent), then the encrypted
+  /// request is decrypted and parsed (both charged to the MC CPU), the
+  /// routing computed, rules installed with southbound latency, and the
+  /// callback invoked when the encrypted acknowledgement reaches the
+  /// client.  `priority` is the cleartext priority class: clients mark
+  /// re-establishments kRepair, which outranks fresh establishes in the
+  /// admission queue.
   void async_establish(net::Ipv4 client,
                        std::vector<std::uint8_t> encrypted_request,
                        std::uint64_t message_counter,
-                       std::function<void(EstablishResult)> on_result);
+                       std::function<void(EstablishResult)> on_result,
+                       ctrl::AdmitPriority priority =
+                           ctrl::AdmitPriority::kFresh);
 
   /// Establish a burst of channels in one call.  Requests are grouped by
   /// destination so one warm PathEngine row serves every channel headed
   /// there before the planner moves on -- under an LRU-capped row cache an
   /// interleaved burst would otherwise recompute rows it just evicted.
-  /// Results come back in request order.
+  /// Results come back in request order.  Each request draws its own
+  /// admission token (batching cannot bypass the per-tenant quotas); the
+  /// over-budget tail of a batch comes back busy.
   std::vector<EstablishResult> establish_batch(
       const std::vector<EstablishRequest>& requests);
+
+  // --- half-open control sessions ----------------------------------------------
+  //
+  // A client that cannot deliver its whole encrypted request in one
+  // message opens a control session and completes it later.  The admission
+  // controller tracks the half-open exchange and reaps it after
+  // `admission.half_open_timeout` of inactivity, so a slowloris-style
+  // trickle cannot pin MC state.  All three calls are silently dropped
+  // while crashed (like every control entry point).
+
+  using ControlSessionId = ctrl::AdmissionController::ControlSessionId;
+  /// Returns 0 when rejected (crashed, or over the half-open quotas).
+  ControlSessionId open_control_session(net::Ipv4 client);
+  /// A trickled fragment arrived: extends the idle deadline.  False if the
+  /// session was already reaped.
+  bool touch_control_session(ControlSessionId id);
+  /// The full request arrived: the session closes and the request enters
+  /// the ordinary async_establish path.  False if the session was already
+  /// reaped or the MC restarted -- the request is dropped (the client's
+  /// watchdog handles it like any other silence).
+  bool complete_control_session(ControlSessionId id, net::Ipv4 client,
+                                std::vector<std::uint8_t> encrypted_request,
+                                std::uint64_t message_counter,
+                                std::function<void(EstablishResult)> on_result,
+                                ctrl::AdmitPriority priority =
+                                    ctrl::AdmitPriority::kFresh);
 
   void teardown(ChannelId id, bool immediate = true);
 
@@ -268,6 +319,12 @@ class MimicController : public ctrl::Controller {
   }
   sim::CpuMeter& mc_cpu() noexcept { return mc_cpu_; }
   const MicConfig& mic_config() const noexcept { return mic_config_; }
+  /// The admission controller in front of the establishment entry points
+  /// (AC-1's ground truth; mutable for the negative-test debug hooks).
+  ctrl::AdmissionController& admission() noexcept { return admission_; }
+  const ctrl::AdmissionController& admission() const noexcept {
+    return admission_;
+  }
 
   /// CF label policy handed to the L3 routing app (cached per host).
   net::MplsLabel cf_label_for(topo::NodeId host);
@@ -343,6 +400,13 @@ class MimicController : public ctrl::Controller {
   /// in channels_ (install_txn == 1) and `ops` holds its uncommitted rules.
   EstablishResult plan_channel(const EstablishRequest& request,
                                std::vector<InstallOp>& ops);
+  /// The post-admission async establishment body (decrypt, CPU charge,
+  /// plan, commit, ack), invoked by the admission controller inline when
+  /// unsaturated or from the drain when a queued request's turn comes.
+  /// Releases its admission service slot at the terminal points.
+  void service_establish(net::Ipv4 client, std::vector<std::uint8_t> bytes,
+                         std::uint64_t message_counter,
+                         std::function<void(EstablishResult)> on_result);
   /// Backoff before retry `attempt` (1-based): base * 2^(attempt-1),
   /// clamped to the cap, plus seeded jitter, plus one southbound latency so
   /// the rollback flow-mods land before identical rules are re-sent.
@@ -388,6 +452,7 @@ class MimicController : public ctrl::Controller {
   MagaRegistry registry_;
   AddressRestrictions restrictions_;
   sim::CpuMeter mc_cpu_;
+  ctrl::AdmissionController admission_;
 
   ChannelId next_channel_ = 1;
   std::uint32_t next_group_ = 1;

@@ -43,7 +43,7 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   EXPECT_EQ(report.first_violation(), "");
 
   const auto ids = audit::Registry::instance().ids();
-  ASSERT_EQ(ids.size(), 7u);
+  ASSERT_EQ(ids.size(), 8u);
   EXPECT_EQ(ids[0], "FT-1");
   EXPECT_EQ(ids[1], "CA-1");
   EXPECT_EQ(ids[2], "PE-1");
@@ -51,6 +51,7 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   EXPECT_EQ(ids[4], "RC-1");
   EXPECT_EQ(ids[5], "SIM-2");
   EXPECT_EQ(ids[6], "SIM-3");
+  EXPECT_EQ(ids[7], "AC-1");
 
   // Every check walked real state.
   EXPECT_GT(report.check("FT-1").items_checked, 0u);
@@ -68,6 +69,11 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   // windows in the parallel leg.
   EXPECT_GT(report.check("SIM-3").metric("diff_ops"), 0u);
   EXPECT_GT(report.check("SIM-3").metric("parallel_windows"), 0u);
+  // AC-1 balanced the admission books; the establish above went through
+  // offer_sync and must be accounted as offered + admitted.
+  EXPECT_GT(report.check("AC-1").items_checked, 0u);
+  EXPECT_GE(report.check("AC-1").metric("offered"), 1u);
+  EXPECT_GE(report.check("AC-1").metric("admitted"), 1u);
 }
 
 TEST(AuditRegistry, SchedulerEquivalenceRunsStandalone) {
