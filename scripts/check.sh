@@ -46,6 +46,17 @@ echo "== admission flood guard =="
 # time, so this is exact, not a wall-clock threshold).
 ./build/bench/control_flood --smoke
 
+echo "== recovery + failover smoke (audit-gated) =="
+# The crash/recover sweep plus the warm-standby failover leg; each point
+# re-checks audit::run_all, so a reconciliation bug fails the run even if
+# the latency numbers look fine.
+(cd build && ./bench/controller_recovery --smoke)
+
+echo "== soak trace-hash replay (single + 4 shards) =="
+# Every seeded chaos / MC-crash / failover soak fingerprint must replay
+# bit-identically against the recorded golden file, on both engines.
+scripts/record_trace_hashes.sh verify build
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitized (address,undefined) =="
   run_suite build-asan -DMIC_SANITIZE=address

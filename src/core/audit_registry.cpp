@@ -82,6 +82,66 @@ CheckResult check_recovery_consistency(core::MimicController& mc) {
   return result;
 }
 
+CheckResult check_failover_consistency(core::MimicController& mc) {
+  // RC-2: controller-generation (failover) consistency.  The audited MC
+  // must be the fabric's one true primary: its journal epoch and fence
+  // epoch agree, every journal record was stamped at or below that epoch,
+  // and no switch has admitted an op from a *newer* generation (a switch
+  // fenced above the auditee means a second primary installed something --
+  // the dual-primary scenario fencing exists to prevent).  Together with
+  // RC-1 (journal replay == live channels == installed rules, which after
+  // a takeover is exactly "live == standby replay minus swept"), this is
+  // what makes a failover safe to audit at any quiescent instant.
+  CheckResult result;
+  if (mc.crashed()) {
+    result.violations.push_back("audited controller is crashed");
+  }
+  if (mc.deposed()) {
+    result.violations.push_back(
+        "audited controller was deposed by a newer-epoch primary");
+  }
+  ++result.items_checked;
+
+  const std::uint64_t epoch = mc.journal().epoch();
+  if (epoch == 0) {
+    result.violations.push_back("journal epoch was never initialised");
+  }
+  if (mc.fence_epoch() != epoch) {
+    result.violations.push_back(
+        "fence epoch " + std::to_string(mc.fence_epoch()) +
+        " != journal epoch " + std::to_string(epoch));
+  }
+  ++result.items_checked;
+
+  for (const core::JournalRecord& record : mc.journal().records()) {
+    if (record.epoch > epoch) {
+      result.violations.push_back(
+          "journal record seq " + std::to_string(record.seq) +
+          " stamped with future epoch " + std::to_string(record.epoch));
+    }
+    ++result.items_checked;
+  }
+
+  std::uint64_t stale_ops = 0;
+  for (const topo::NodeId sw : mc.graph().switches()) {
+    const std::uint64_t sw_epoch = mc.switch_at(sw)->fence_epoch();
+    if (sw_epoch > epoch) {
+      result.violations.push_back(
+          "switch " + std::to_string(sw) + " is fenced at epoch " +
+          std::to_string(sw_epoch) + " > ours " + std::to_string(epoch) +
+          " (a newer primary owns the fabric)");
+    }
+    stale_ops += mc.switch_at(sw)->stale_ops_rejected();
+    ++result.items_checked;
+  }
+
+  result.metrics.emplace_back("journal_epoch", epoch);
+  result.metrics.emplace_back("stale_ops_rejected", stale_ops);
+  result.metrics.emplace_back("fenced_ops", mc.fenced_ops());
+  result.ok = result.violations.empty();
+  return result;
+}
+
 CheckResult check_path_rows(core::MimicController& mc) {
   // PE-1: every cached path row equals a fresh recomputation against the
   // current failure set.
@@ -437,6 +497,8 @@ Registry::Registry() {
       });
   add("RC-1", "journal / switch-resync consistency",
       check_recovery_consistency);
+  add("RC-2", "controller-generation (failover) consistency",
+      check_failover_consistency);
   add("SIM-2", "timing-wheel / reference-scheduler equivalence",
       check_scheduler_equivalence);
   add("SIM-3", "sharded / single-engine equivalence",

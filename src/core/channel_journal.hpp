@@ -8,19 +8,26 @@
 // channel, and `truncate_tail()` models a crash mid-commit (the tail
 // record never made it to stable storage).
 //
-// The journal is in-memory: this simulation models the *protocol* (what
-// must be logged, and how a restarted controller reconciles switches
-// against the log), not the storage engine underneath it.
+// The in-memory log can be backed by a JournalStore (journal_store.hpp):
+// every append is mirrored into the store's CRC-framed segment log, and the
+// store's fsync policy decides when a record becomes *committed* (durable).
+// Committed records are what the journal ships to a subscribed follower
+// (the warm standby's replica stream): a record lost to a crash before its
+// fsync is, by construction, also a record the standby never saw.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
 #include "core/channel.hpp"
 
 namespace mic::core {
+
+class JournalStore;
 
 enum class JournalRecordType : std::uint8_t {
   kEstablish,  // full ChannelState at plan time
@@ -32,6 +39,10 @@ enum class JournalRecordType : std::uint8_t {
 struct JournalRecord {
   JournalRecordType type = JournalRecordType::kEstablish;
   std::uint64_t seq = 0;  // monotone across compactions
+  /// Journal epoch (controller generation) at commit time: bumped on every
+  /// recovery/takeover, stamped into this record and fenced at the
+  /// switches so a deposed ex-primary's ops are refused.
+  std::uint64_t epoch = 0;
   ChannelId channel = 0;
   /// Valid for kEstablish/kRepair/kSnapshot.
   ChannelState state;
@@ -48,6 +59,9 @@ struct JournalImage {
   std::map<ChannelId, ChannelState> channels;  // ordered => deterministic
   ChannelId next_channel = 0;
   std::uint32_t next_group = 0;
+  /// Highest epoch seen in the log; a recovering controller resumes at
+  /// epoch + 1.
+  std::uint64_t epoch = 0;
 };
 
 /// Structural identity of two channel states: everything the data plane
@@ -58,11 +72,24 @@ bool structurally_equal(const ChannelState& a, const ChannelState& b);
 
 class ChannelJournal {
  public:
+  ChannelJournal() = default;
+  /// Copies carry the log, not the plumbing: an attached store, commit
+  /// listener, and unshipped queue stay with the original (the chaos
+  /// harness copies journals to model torn tails; a copy must never write
+  /// to the primary's disk or ship to its standby).
+  ChannelJournal(const ChannelJournal& other);
+  ChannelJournal& operator=(const ChannelJournal& other);
+
   void record_establish(const ChannelState& state, ChannelId next_channel,
                         std::uint32_t next_group);
   void record_repair(const ChannelState& state, ChannelId next_channel,
                      std::uint32_t next_group);
   void record_teardown(ChannelId channel);
+
+  /// Append a record verbatim, preserving its seq/epoch stamps: how a
+  /// standby's replica ingests shipped records, and how a log loaded from
+  /// a JournalStore is rebuilt.
+  void adopt_record(JournalRecord record);
 
   /// Fold the log into the image a recovering MC adopts.
   JournalImage replay() const;
@@ -83,6 +110,27 @@ class ChannelJournal {
     compaction_threshold_ = records;
   }
 
+  // --- durability + replication plumbing -------------------------------------
+
+  /// Mirror every subsequent append into `store` (nullptr detaches).  Must
+  /// be attached before the first record is written: the store is the
+  /// journal's stable storage, not a partial backup.
+  void attach_store(JournalStore* store);
+  JournalStore* store() const noexcept { return store_; }
+
+  /// Subscribe to committed records (the standby's replication stream).
+  /// Records already committed are delivered immediately, then every
+  /// record as soon as its bytes are durable under the store's fsync
+  /// policy (instantly when no store is attached).
+  void set_commit_listener(std::function<void(const JournalRecord&)> listener);
+
+  /// Transaction boundary: under FsyncPolicy::kCommitBoundary this is
+  /// where the store syncs and pending records become committed/shipped.
+  void commit_boundary();
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
   const std::vector<JournalRecord>& records() const noexcept {
     return records_;
   }
@@ -91,14 +139,27 @@ class ChannelJournal {
   /// Total records ever appended (monotone; survives compaction).
   std::uint64_t appends() const noexcept { return next_seq_ - 1; }
   std::uint64_t compactions() const noexcept { return compactions_; }
+  /// Committed records delivered to the commit listener so far.
+  std::uint64_t records_shipped() const noexcept { return shipped_; }
 
  private:
   void append(JournalRecord record);
+  /// Deliver queued records whose bytes the store has made durable.
+  void maybe_ship();
+  std::uint64_t durable_frontier() const;
 
   std::vector<JournalRecord> records_;
   std::uint64_t next_seq_ = 1;
   std::size_t compaction_threshold_ = 0;
   std::uint64_t compactions_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  JournalStore* store_ = nullptr;
+  std::function<void(const JournalRecord&)> listener_;
+  /// Appended but not yet known-durable records, pending shipment.
+  std::deque<JournalRecord> unshipped_;
+  std::uint64_t real_appends_ = 0;  // via append(); excludes snapshots
+  std::uint64_t shipped_ = 0;
 };
 
 }  // namespace mic::core

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "core/journal_store.hpp"
+#include "ctrl/standby.hpp"
+
 namespace mic::core {
 
 namespace {
@@ -222,6 +225,84 @@ void FaultInjector::arm() {
       }
       // ...and never completed: the half-open reaper must collect it.
     }
+  }
+
+  // Durable-storage faults and primary kills, drawn after every draw above
+  // (the same append-only rule): enabling them never perturbs an existing
+  // seed's fault, flood or slow-client schedule.  All randomness is drawn
+  // here at arm() time; the callbacks touch no rng.
+  if (options_.storage_bit_flips > 0 || options_.fsync_lapse_windows > 0) {
+    MIC_ASSERT_MSG(backend_ != nullptr,
+                   "storage faults need attach_journal_backend()");
+  }
+  for (int i = 0; i < options_.storage_bit_flips; ++i) {
+    const sim::SimTime at = fault_time();
+    const std::uint64_t which = rng_.next();
+    schedule_log_.push_back("flip journal bit @" + us(at));
+    sim.schedule_in(at, [this, which] {
+      backend_->flip_bit(which);
+      ++storage_faults_fired_;
+    });
+  }
+  for (int i = 0; i < options_.fsync_lapse_windows; ++i) {
+    const sim::SimTime at = fault_time();
+    schedule_log_.push_back(
+        "fsync lapse x" + std::to_string(options_.fsync_lapse_count) + " @" +
+        us(at));
+    sim.schedule_in(at, [this] {
+      backend_->lapse_fsyncs(options_.fsync_lapse_count);
+      ++storage_faults_fired_;
+    });
+  }
+
+  using KillMode = FaultInjectorOptions::PrimaryKillMode;
+  if (options_.primary_kills > 0) {
+    MIC_ASSERT_MSG(standby_ != nullptr,
+                   "primary kills need attach_standby()");
+  }
+  for (int i = 0; i < options_.primary_kills; ++i) {
+    const sim::SimTime kill_at = fault_time();
+    // Drawn unconditionally so every mode shares one draw sequence: the
+    // same seed produces kills at the same instants in all four modes.
+    const std::uint64_t torn_bytes = 1 + rng_.below(48);
+    const char* mode = "clean";
+    switch (options_.primary_kill_mode) {
+      case KillMode::kClean: break;
+      case KillMode::kTornTail: mode = "torn-tail"; break;
+      case KillMode::kFsyncLapse: mode = "fsync-lapse"; break;
+      case KillMode::kZombie: mode = "zombie"; break;
+    }
+    schedule_log_.push_back("kill primary MC (" + std::string(mode) + ") @" +
+                            us(kill_at));
+    if (options_.primary_kill_mode == KillMode::kFsyncLapse) {
+      // Open the lapse window shortly before the kill: the final commits
+      // look durable to the primary but never ship to the standby.
+      const sim::SimTime lapse_at = kill_at > options_.fsync_lapse_lead
+                                        ? kill_at - options_.fsync_lapse_lead
+                                        : sim::SimTime{0};
+      sim.schedule_in(lapse_at, [this] {
+        if (backend_ != nullptr) {
+          backend_->lapse_fsyncs(options_.fsync_lapse_count);
+        }
+      });
+    }
+    sim.schedule_in(kill_at, [this, torn_bytes] {
+      ++primary_kills_fired_;
+      if (options_.primary_kill_mode == KillMode::kZombie) {
+        // The primary is healthy; only the standby's view of it dies.
+        // The missed-heartbeat takeover fences every switch, and the
+        // zombie's next southbound op deposes it.
+        standby_->set_partitioned(true);
+        return;
+      }
+      if (options_.primary_kill_mode == KillMode::kTornTail) {
+        if (backend_ != nullptr) backend_->arm_torn_tail(torn_bytes);
+        standby_->drop_replica_tail(
+            static_cast<std::size_t>(options_.kill_truncate_records));
+      }
+      if (backend_ != nullptr) backend_->crash();
+      if (!mc_.crashed()) mc_.crash();
+    });
   }
 }
 

@@ -19,7 +19,13 @@
 
 #include "core/mimic_controller.hpp"
 
+namespace mic::ctrl {
+class StandbyController;
+}
+
 namespace mic::core {
+
+class SimBackend;
 
 struct FaultInjectorOptions {
   std::uint64_t seed = 1;
@@ -86,6 +92,41 @@ struct FaultInjectorOptions {
   int slow_client_sessions = 0;
   int slow_client_touches = 2;
   sim::SimTime slow_client_touch_gap = sim::milliseconds(2);
+
+  /// --- durable-storage faults (journal_store.hpp SimBackend) ----------------
+  /// Require attach_journal_backend().  Drawn after the slow-client draws
+  /// (append-only, like every extension before them), so enabling them
+  /// never perturbs an existing seed's schedule.
+
+  /// Latent single-bit corruptions of already-durable journal bytes at
+  /// random times: the live run never notices (nothing re-reads the
+  /// store), but a later load() must degrade to a clean parse error.
+  int storage_bit_flips = 0;
+  /// Windows in which fsync silently does nothing (firmware write-cache
+  /// lie): the MC believes the records committed (they ship to the standby
+  /// -- the lie is undetectable), but the primary's own disk drops them at
+  /// the next power cut, so a reload from that disk is behind the replica.
+  int fsync_lapse_windows = 0;
+  int fsync_lapse_count = 4;
+
+  /// --- primary-kill / failover schedule -------------------------------------
+  /// Requires attach_standby(); the kill leaves the primary down (or, in
+  /// zombie mode, running but partitioned) and the standby's heartbeat
+  /// machinery performs the takeover on its own.
+  enum class PrimaryKillMode : std::uint8_t {
+    kClean,       // crash the primary, nothing else
+    kTornTail,    // partial sector write + replica lag at the kill
+    kFsyncLapse,  // fsyncs lapse shortly before the kill (stale replica)
+    kZombie,      // partition the standby instead: the primary keeps
+                  // running until a fenced op forces it to step down
+  };
+  int primary_kills = 0;
+  PrimaryKillMode primary_kill_mode = PrimaryKillMode::kClean;
+  /// kTornTail: replica records dropped at the kill (in-flight replication
+  /// lost with the primary).
+  int kill_truncate_records = 2;
+  /// kFsyncLapse: how long before the kill the lapse window opens.
+  sim::SimTime fsync_lapse_lead = sim::milliseconds(3);
 };
 
 class FaultInjector {
@@ -97,10 +138,28 @@ class FaultInjector {
   /// the simulator.  Call once, before (or while) traffic runs.
   void arm();
 
+  /// Target of the storage-fault schedules (the SimBackend under the MC's
+  /// JournalStore).  Must be attached before arm() when storage_bit_flips,
+  /// fsync_lapse_windows or a storage-kill mode is configured.
+  void attach_journal_backend(SimBackend* backend) noexcept {
+    backend_ = backend;
+  }
+  /// Target of the primary-kill schedule.  Must be attached before arm()
+  /// when primary_kills > 0.
+  void attach_standby(ctrl::StandbyController* standby) noexcept {
+    standby_ = standby;
+  }
+
   std::size_t links_flapped() const noexcept { return links_flapped_; }
   std::size_t switches_crashed() const noexcept { return switches_crashed_; }
   std::size_t bursts_fired() const noexcept { return bursts_fired_; }
   std::size_t mc_crashes_fired() const noexcept { return mc_crashes_fired_; }
+  std::size_t primary_kills_fired() const noexcept {
+    return primary_kills_fired_;
+  }
+  std::size_t storage_faults_fired() const noexcept {
+    return storage_faults_fired_;
+  }
   /// Flood-attack outcome: requests sent, answers seen, and how many of
   /// those answers were admission sheds (Busy replies).  Dropped requests
   /// (MC crashed mid-flood) answer nothing.
@@ -133,6 +192,8 @@ class FaultInjector {
   FaultInjectorOptions options_;
   Rng rng_;
   bool armed_ = false;
+  SimBackend* backend_ = nullptr;
+  ctrl::StandbyController* standby_ = nullptr;
   /// Switches currently down, as the *injector* sequenced them (the MC has
   /// its own view that lags by the detection pipeline).
   std::unordered_set<topo::NodeId> crashed_now_;
@@ -143,6 +204,8 @@ class FaultInjector {
   std::size_t switches_crashed_ = 0;
   std::size_t bursts_fired_ = 0;
   std::size_t mc_crashes_fired_ = 0;
+  std::size_t primary_kills_fired_ = 0;
+  std::size_t storage_faults_fired_ = 0;
   std::uint64_t flood_sent_ = 0;
   std::uint64_t flood_answered_ = 0;
   std::uint64_t flood_shed_ = 0;

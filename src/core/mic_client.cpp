@@ -17,20 +17,30 @@ transport::ChunkView view_of(const transport::Chunk& chunk) {
 
 MicChannel::MicChannel(transport::Host& host, MimicController& mc,
                        MicChannelOptions options, Rng& rng)
-    : host_(host), mc_(mc), options_(std::move(options)), rng_(rng) {
+    : host_(host), mc_fixed_(&mc), options_(std::move(options)), rng_(rng) {
+  started_at_ = host_.simulator().now();
+  start_establish();
+}
+
+MicChannel::MicChannel(transport::Host& host, ControllerDirectory& directory,
+                       MicChannelOptions options, Rng& rng)
+    : host_(host),
+      directory_(&directory),
+      options_(std::move(options)),
+      rng_(rng) {
   started_at_ = host_.simulator().now();
   start_establish();
 }
 
 MicChannel::~MicChannel() {
-  if (channel_id_ != 0) mc_.clear_channel_listener(channel_id_);
+  if (channel_id_ != 0) mc().clear_channel_listener(channel_id_);
 }
 
 void MicChannel::start_establish() {
   // First contact: run the one-time key exchange with the MC (both sides
   // pay the asymmetric cost once per client).
-  const bool known = mc_.client_registered(host_.ip());
-  const crypto::Aes128::Key key = mc_.register_client(host_.ip());
+  const bool known = mc().client_registered(host_.ip());
+  const crypto::Aes128::Key key = mc().register_client(host_.ip());
   if (!known) {
     host_.charge(2 * host_.costs().dh_modexp_cycles);
   }
@@ -63,13 +73,13 @@ void MicChannel::start_establish() {
                                            ? ctrl::AdmitPriority::kRepair
                                            : ctrl::AdmitPriority::kFresh;
   const std::uint64_t gen = generation_;
-  mc_.async_establish(host_.ip(), std::move(bytes), control_counter_,
+  mc().async_establish(host_.ip(), std::move(bytes), control_counter_,
                       [this, gen](const EstablishResult& result) {
                         if (gen != generation_ || user_closed_) {
                           // A stale ack for a generation we gave up on: the
                           // MC holds a live channel nobody owns.  Release
                           // it rather than stranding its rules.
-                          if (result.ok) mc_.teardown(result.channel, false);
+                          if (result.ok) mc().teardown(result.channel, false);
                           return;
                         }
                         on_established(result);
@@ -128,7 +138,7 @@ void MicChannel::schedule_heartbeat() {
 
 void MicChannel::probe_once(std::uint64_t gen) {
   auto answered = std::make_shared<bool>(false);
-  mc_.probe_channel(
+  mc().probe_channel(
       channel_id_,
       [this, gen](MimicController::ChannelEvent event,
                   const std::string& reason) {
@@ -154,7 +164,7 @@ void MicChannel::probe_once(std::uint64_t gen) {
   const sim::SimTime timeout =
       options_.control_timeout > 0
           ? options_.control_timeout
-          : 4 * mc_.mic_config().control_latency + sim::milliseconds(1);
+          : 4 * mc().mic_config().control_latency + sim::milliseconds(1);
   host_.simulator().schedule_in(timeout, [this, gen, answered] {
     if (gen != generation_ || user_closed_ || failed_ || *answered) return;
     ++silences_;
@@ -263,7 +273,7 @@ void MicChannel::on_established(const EstablishResult& result) {
   error_.clear();
   silence_streak_ = 0;  // the MC answered; silences start counting afresh
   const std::uint64_t gen = generation_;
-  mc_.set_channel_listener(
+  mc().set_channel_listener(
       channel_id_, [this, gen](MimicController::ChannelEvent event,
                                const std::string& reason) {
         if (gen != generation_) return;
@@ -368,26 +378,28 @@ void MicChannel::close() {
   for (Flow& flow : flows_) {
     if (flow.stream != nullptr) flow.stream->close();
   }
-  if (channel_id_ != 0) mc_.clear_channel_listener(channel_id_);
-  // The shutdown notification travels the control channel.
+  if (channel_id_ != 0) mc().clear_channel_listener(channel_id_);
+  // The shutdown notification travels the control channel, addressed to
+  // whoever is primary right now.
   const ChannelId id = channel_id_;
-  auto& mc = mc_;
-  host_.simulator().schedule_in(mc_.mic_config().control_latency,
-                                [&mc, id] { mc.teardown(id, false); });
+  auto& target = mc();
+  host_.simulator().schedule_in(target.mic_config().control_latency,
+                                [&target, id] { target.teardown(id, false); });
 }
 
 void MicChannel::release_for_reuse() {
   const ChannelId id = channel_id_;
-  auto& mc = mc_;
-  host_.simulator().schedule_in(mc_.mic_config().control_latency,
-                                [&mc, id] { mc.mark_idle(id, true); });
+  auto& target = mc();
+  host_.simulator().schedule_in(target.mic_config().control_latency,
+                                [&target, id] { target.mark_idle(id, true); });
 }
 
 void MicChannel::reacquire() {
   const ChannelId id = channel_id_;
-  auto& mc = mc_;
-  host_.simulator().schedule_in(mc_.mic_config().control_latency,
-                                [&mc, id] { mc.mark_idle(id, false); });
+  auto& target = mc();
+  host_.simulator().schedule_in(
+      target.mic_config().control_latency,
+      [&target, id] { target.mark_idle(id, false); });
 }
 
 // --- MicChannelPool --------------------------------------------------------------
@@ -403,7 +415,10 @@ MicChannel& MicChannelPool::acquire(const MicChannelOptions& options) {
   }
   Entry entry;
   entry.options = options;
-  entry.channel = std::make_unique<MicChannel>(host_, mc_, options, rng_);
+  entry.channel =
+      directory_ != nullptr
+          ? std::make_unique<MicChannel>(host_, *directory_, options, rng_)
+          : std::make_unique<MicChannel>(host_, *mc_fixed_, options, rng_);
   entries_.push_back(std::move(entry));
   return *entries_.back().channel;
 }

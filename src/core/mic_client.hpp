@@ -78,6 +78,13 @@ class MicChannel : public transport::ByteStream {
   /// MC acknowledged and all F m-flow connections are up.
   MicChannel(transport::Host& host, MimicController& mc,
              MicChannelOptions options, Rng& rng);
+  /// Directory-resolved variant: every control interaction (establish,
+  /// probe, teardown, idle marking) is addressed to the directory's
+  /// *current* primary at send time, so a standby takeover transparently
+  /// redirects this channel -- the watchdog/heartbeat machinery notices
+  /// the old primary's silence and the retry lands at the new one.
+  MicChannel(transport::Host& host, ControllerDirectory& directory,
+             MicChannelOptions options, Rng& rng);
   ~MicChannel() override;
 
   void send(transport::Chunk chunk) override;
@@ -149,8 +156,15 @@ class MicChannel : public transport::ByteStream {
   void send_slice(transport::Chunk payload);
   void flush_pending();
 
+  /// The control-plane endpoint, resolved per interaction: through the
+  /// directory when one was given (failover-aware), else the fixed MC.
+  MimicController& mc() const noexcept {
+    return directory_ != nullptr ? directory_->current() : *mc_fixed_;
+  }
+
   transport::Host& host_;
-  MimicController& mc_;
+  MimicController* mc_fixed_ = nullptr;
+  ControllerDirectory* directory_ = nullptr;
   MicChannelOptions options_;
   Rng& rng_;
 
@@ -227,7 +241,12 @@ class MicServerChannel : public transport::ByteStream {
 class MicChannelPool {
  public:
   MicChannelPool(transport::Host& host, MimicController& mc, Rng& rng)
-      : host_(host), mc_(mc), rng_(rng) {}
+      : host_(host), mc_fixed_(&mc), rng_(rng) {}
+  /// Failover-aware pool: channels it creates resolve the MC through the
+  /// directory (see the MicChannel directory constructor).
+  MicChannelPool(transport::Host& host, ControllerDirectory& directory,
+                 Rng& rng)
+      : host_(host), directory_(&directory), rng_(rng) {}
 
   /// Non-copyable: entries hold raw pointers into the pool.
   MicChannelPool(const MicChannelPool&) = delete;
@@ -258,7 +277,8 @@ class MicChannelPool {
   }
 
   transport::Host& host_;
-  MimicController& mc_;
+  MimicController* mc_fixed_ = nullptr;
+  ControllerDirectory* directory_ = nullptr;
   Rng& rng_;
   std::vector<Entry> entries_;
 };

@@ -20,6 +20,7 @@ MimicController::MimicController(net::Network& network,
                                  ctrl::ControllerConfig ctrl_config)
     : ctrl::Controller(network, std::move(addressing), ctrl_config),
       mic_config_(mic_config),
+      seed_(seed),
       rng_(seed),
       registry_(mic_config.shared_secret_seed != 0
                     ? Rng(mic_config.shared_secret_seed)
@@ -33,6 +34,10 @@ MimicController::MimicController(net::Network& network,
       (static_cast<ChannelId>(mic_config_.instance_id) << 32) + 1;
   next_group_ = (mic_config_.instance_id << 24) + 1;
   journal_.set_compaction_threshold(mic_config_.journal_compaction_threshold);
+  // First controller generation.  Every southbound op is stamped with the
+  // journal epoch; recoveries and takeovers bump it (see recover()).
+  journal_.set_epoch(1);
+  set_fence_epoch(1);
 
   // Every switch is a potential MN (paper: "Any switches in the network are
   // potential MNs"), so all get MAGA state up front.
@@ -44,6 +49,11 @@ MimicController::MimicController(net::Network& network,
 void MimicController::install_default_routing() {
   ctrl::L3RoutingApp::install(
       *this, [this](topo::NodeId host) { return cf_label_for(host); });
+  default_routing_installed_ = true;
+}
+
+void MimicController::adopt_default_routing() {
+  ctrl::L3RoutingApp::adopt(*this);
   default_routing_installed_ = true;
 }
 
@@ -691,11 +701,15 @@ EstablishResult MimicController::establish(const EstablishRequest& request) {
       release_plan_resources(plan);
     }
     journal_.record_teardown(result.channel);
+    journal_.commit_boundary();
     channels_.erase(it);
     EstablishResult failed;
     failed.error = "rule install rejected; channel rolled back";
     return failed;
   }
+  // The ack is the commit boundary: under FsyncPolicy::kCommitBoundary the
+  // establish record must be durable before the client hears "ok".
+  journal_.commit_boundary();
   return result;
 }
 
@@ -828,6 +842,8 @@ void MimicController::service_establish(
             result = EstablishResult{};
             result.error = "channel lost during establishment";
           }
+          // Ack time is the commit boundary for the async path too.
+          journal_.commit_boundary();
           // committed, or superseded by a repair with the channel
           // still alive: the entry addresses are stable across
           // re-planning, so the original acknowledgement stands.
@@ -912,6 +928,7 @@ void MimicController::teardown(ChannelId id, bool immediate) {
   const auto it = channels_.find(id);
   if (it == channels_.end()) return;
   journal_.record_teardown(id);
+  journal_.commit_boundary();
   for (const topo::NodeId sw : it->second.touched_switches) {
     remove_cookie(sw, id, immediate);
   }
@@ -1000,6 +1017,7 @@ void MimicController::lose_channel(ChannelId id, const std::string& reason) {
   }
   channels_.erase(it);
   ++channels_lost_;
+  journal_.commit_boundary();
   notify_channel_event(id, ChannelEvent::kLost, reason);
 }
 
@@ -1055,6 +1073,9 @@ MimicController::RepairOutcome MimicController::repair_channels(
                  });
     ++outcome.repaired;
   }
+  // One boundary per repair fan-out: a failure storm's repair records sync
+  // together instead of once per channel (the kCommitBoundary win).
+  journal_.commit_boundary();
   return outcome;
 }
 
@@ -1464,6 +1485,15 @@ MimicController::RecoveryReport MimicController::recover(
   // 1. Replay the (possibly truncated) log into a consistent image.
   const JournalImage image = journal.replay();
 
+  // New controller generation: every record and southbound op from here on
+  // carries an epoch above anything the previous life (or a deposed
+  // ex-primary still running somewhere) ever stamped.
+  const std::uint64_t new_epoch =
+      std::max(journal_.epoch(), image.epoch) + 1;
+  journal_.set_epoch(new_epoch);
+  set_fence_epoch(new_epoch);
+  deposed_ = false;
+
   // 2. Adopt the image: channels, allocator state, endpoint reservations,
   // id watermarks.  Every adopted channel's install generation is bumped so
   // a pre-crash in-flight commit can never match it again.
@@ -1504,6 +1534,10 @@ MimicController::RecoveryReport MimicController::recover(
   for (const topo::NodeId sw : fabric_switches) {
     if (failed_switches_.contains(sw)) continue;  // unreachable, empty anyway
     ++report.switches_resynced;
+    // Fence the switch under the new epoch while resyncing it: from this
+    // moment a zombie ex-primary's ops (stamped with an older epoch) are
+    // refused, so nothing can mutate the table behind the diff below.
+    switch_at(sw)->raise_fence(new_epoch);
     switchd::DumpFilter filter;
     filter.exclude_cookie = ctrl::kL3Cookie;
     const switchd::FlowDump dump = switch_at(sw)->dump(filter);
@@ -1529,11 +1563,36 @@ MimicController::RecoveryReport MimicController::recover(
     const auto it = channels_.find(id);
     if (it == channels_.end()) continue;  // lost during the failure resync
     if (it->second.install_txn != txn) {
-      ++report.channels_replanned;  // repaired during the failure resync
+      // Repaired during the failure resync.  That repair swept only the
+      // journaled scope, and every rule of its fresh generation is still
+      // in flight (checked installs land a southbound latency after this
+      // synchronous pass) -- so anything the dumps saw under this cookie
+      // is pre-takeover residue the journal never carried: a lost repair
+      // of the old primary, or a zombie's last plan.  Sweep it all; the
+      // in-flight generation lands on clean tables right after.
+      if (const auto obs = observed.find(id); obs != observed.end()) {
+        for (const topo::NodeId sw : obs->second) {
+          remove_cookie(sw, id, /*immediate=*/true);
+        }
+      }
+      ++report.channels_replanned;
       continue;
     }
     ChannelState& state = it->second;
     if (channel_path_dead(state)) {
+      // The dumps may have seen this cookie on switches the (possibly
+      // truncated) journal never recorded -- a pre-crash repair whose
+      // record was lost.  repair_channels only sweeps the journaled scope,
+      // so pull the out-of-scope survivors here or they outlive the
+      // channel.
+      if (const auto obs = observed.find(id); obs != observed.end()) {
+        for (const topo::NodeId sw : obs->second) {
+          if (!std::binary_search(state.touched_switches.begin(),
+                                  state.touched_switches.end(), sw)) {
+            remove_cookie(sw, id, /*immediate=*/true);
+          }
+        }
+      }
       repair_channels({id}, "recovery");
       if (channels_.contains(id)) ++report.channels_replanned;
       continue;
@@ -1597,8 +1656,30 @@ MimicController::RecoveryReport MimicController::recover(
   }
 
   report.channels_lost = channels_lost_ - lost_before;
+  // One boundary covers the whole rebuilt journal (re-records plus any
+  // repair records): recovery is a single durable transaction.
+  journal_.commit_boundary();
   last_recovery_ = report;
   return report;
+}
+
+void MimicController::mirror_directory_from(const MimicController& other) {
+  client_keys_ = other.client_keys_;
+  hidden_services_ = other.hidden_services_;
+  cf_labels_ = other.cf_labels_;
+}
+
+void MimicController::on_fenced_out(topo::NodeId sw) {
+  if (crashed_ || deposed_) return;
+  deposed_ = true;
+  log_warn("MC deposed: switch %u holds a newer fence epoch (ours %llu)", sw,
+           static_cast<unsigned long long>(fence_epoch()));
+  // Step down by self-crashing, but deferred: the refusal surfaces inside
+  // an install path that may still be iterating controller state, and
+  // crash() wipes it all.
+  network().simulator().schedule_in(sim::SimTime{0}, [this] {
+    if (!crashed_) crash();
+  });
 }
 
 const ChannelState* MimicController::channel(ChannelId id) const {

@@ -76,6 +76,12 @@ class MimicController : public ctrl::Controller {
   /// Install the CF-tagged proactive routing for common flows.
   void install_default_routing();
 
+  /// Adopt the proactive routing a predecessor already installed (the
+  /// fabric keeps its rules across a controller failover): record the
+  /// next-hop signatures without reinstalling anything, and arm the
+  /// selective-reroute machinery.  A warm standby calls this at takeover.
+  void adopt_default_routing();
+
   /// Hidden-service registration (paper Sec IV-D): the responder publishes
   /// a nickname; initiators never learn its address.
   void register_hidden_service(const std::string& name, net::Ipv4 ip,
@@ -165,6 +171,7 @@ class MimicController : public ctrl::Controller {
   /// switch-side detection latency) drive fail_link / restore_link without
   /// anyone feeding the MC by hand.  Idempotent.
   void enable_failure_detection();
+  bool failure_detection_enabled() const noexcept { return detection_enabled_; }
 
   /// Port-status handler behind enable_failure_detection().  Duplicate
   /// reports (both ends of a switch-switch link report the same failure)
@@ -256,10 +263,31 @@ class MimicController : public ctrl::Controller {
   RecoveryReport recover(const ChannelJournal& journal);
 
   const ChannelJournal& journal() const noexcept { return journal_; }
+  /// Mutable journal access: the durability/replication plumbing
+  /// (attach_store, set_commit_listener) is wired through here.
+  ChannelJournal& journal() noexcept { return journal_; }
   std::uint64_t crashes() const noexcept { return crashes_; }
   const RecoveryReport& last_recovery() const noexcept {
     return last_recovery_;
   }
+
+  /// Copy the deployment directory (client keys, hidden services, CF
+  /// labels) from another controller instance.  A warm standby mirrors the
+  /// primary's directory at takeover: these are provisioning-time facts
+  /// that survive even a crashed primary (they are not soft state), so the
+  /// standby serves existing clients without re-registration.
+  void mirror_directory_from(const MimicController& other);
+
+  /// A switch refused one of our ops: a newer-epoch controller owns the
+  /// tables.  The MC steps down (schedules an immediate self-crash) rather
+  /// than fighting the new primary -- the zombie-ex-primary defence.
+  void on_fenced_out(topo::NodeId sw) override;
+  /// True once this instance observed a fence rejection and stepped down.
+  bool deposed() const noexcept { return deposed_; }
+
+  /// The construction seed (a standby must be built with the primary's
+  /// seed so both derive identical MAGA deployment secrets).
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Control-channel liveness probe: answers (after a control round trip)
   /// whether `id` is still a live channel, re-registering `listener` on
@@ -448,6 +476,7 @@ class MimicController : public ctrl::Controller {
   }
 
   MicConfig mic_config_;
+  std::uint64_t seed_;
   Rng rng_;
   MagaRegistry registry_;
   AddressRestrictions restrictions_;
@@ -478,9 +507,32 @@ class MimicController : public ctrl::Controller {
   /// storage); survives crash() by definition.
   ChannelJournal journal_;
   bool crashed_ = false;
+  bool deposed_ = false;
   std::uint64_t crashes_ = 0;
   RecoveryReport last_recovery_;
   ctrl::RerouteStats reroute_stats_;
+};
+
+/// The control-plane "virtual IP": clients resolve the current primary MC
+/// through the directory on every control interaction, so a standby
+/// takeover (fail_over_to) transparently redirects every subsequent
+/// establishment, probe and teardown to the new primary -- the existing
+/// watchdog/re-attach machinery in MicChannel does the rest.
+class ControllerDirectory {
+ public:
+  explicit ControllerDirectory(MimicController& initial)
+      : current_(&initial) {}
+
+  MimicController& current() const noexcept { return *current_; }
+  void fail_over_to(MimicController& mc) noexcept {
+    current_ = &mc;
+    ++failovers_;
+  }
+  std::uint64_t failovers() const noexcept { return failovers_; }
+
+ private:
+  MimicController* current_;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace mic::core

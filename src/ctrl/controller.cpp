@@ -48,16 +48,30 @@ switchd::SdnSwitch* Controller::switch_at(topo::NodeId node) {
   return device;
 }
 
+bool Controller::op_admitted(topo::NodeId sw, std::uint64_t epoch) {
+  if (switch_at(sw)->admit_epoch(epoch)) return true;
+  ++fenced_ops_;
+  on_fenced_out(sw);
+  return false;
+}
+
+void Controller::on_fenced_out(topo::NodeId sw) {
+  log_debug("switch %u refused a stale-epoch op", sw);
+}
+
 void Controller::install_rule(topo::NodeId sw, switchd::FlowRule rule,
                               bool immediate) {
   count_rule_install();
   if (immediate) {
+    if (!op_admitted(sw, fence_epoch_)) return;
     const bool ok = switch_at(sw)->table().add_rule(std::move(rule));
     MIC_ASSERT_MSG(ok, "duplicate rule rejected by flow table");
     return;
   }
   network_.simulator().schedule_in(
-      config_.southbound_latency, [this, sw, r = std::move(rule)]() mutable {
+      config_.southbound_latency,
+      [this, sw, epoch = fence_epoch_, r = std::move(rule)]() mutable {
+        if (!op_admitted(sw, epoch)) return;
         const bool ok = switch_at(sw)->table().add_rule(std::move(r));
         if (!ok) log_warn("switch %u rejected duplicate rule", sw);
       });
@@ -66,19 +80,23 @@ void Controller::install_rule(topo::NodeId sw, switchd::FlowRule rule,
 void Controller::install_group(topo::NodeId sw, switchd::GroupEntry group,
                                bool immediate) {
   if (immediate) {
+    if (!op_admitted(sw, fence_epoch_)) return;
     const bool ok = switch_at(sw)->table().add_group(std::move(group));
     MIC_ASSERT_MSG(ok, "duplicate group rejected by flow table");
     return;
   }
   network_.simulator().schedule_in(
-      config_.southbound_latency, [this, sw, g = std::move(group)]() mutable {
+      config_.southbound_latency,
+      [this, sw, epoch = fence_epoch_, g = std::move(group)]() mutable {
+        if (!op_admitted(sw, epoch)) return;
         switch_at(sw)->table().add_group(std::move(g));
       });
 }
 
 void Controller::remove_cookie(topo::NodeId sw, std::uint64_t cookie,
                                bool immediate) {
-  auto do_remove = [this, sw, cookie] {
+  auto do_remove = [this, sw, cookie, epoch = fence_epoch_] {
+    if (!op_admitted(sw, epoch)) return;
     switch_at(sw)->table().remove_by_cookie(cookie);
     switch_at(sw)->table().remove_groups_by_cookie(cookie);
   };
@@ -91,10 +109,12 @@ void Controller::remove_cookie(topo::NodeId sw, std::uint64_t cookie,
 
 bool Controller::install_rule_now(topo::NodeId sw, switchd::FlowRule rule) {
   count_rule_install();
+  if (!op_admitted(sw, fence_epoch_)) return false;
   return switch_at(sw)->try_install(std::move(rule));
 }
 
 bool Controller::install_group_now(topo::NodeId sw, switchd::GroupEntry group) {
+  if (!op_admitted(sw, fence_epoch_)) return false;
   return switch_at(sw)->try_install_group(std::move(group));
 }
 
@@ -108,8 +128,10 @@ void Controller::install_rule_checked(topo::NodeId sw, switchd::FlowRule rule,
   }
   network_.simulator().schedule_in(
       config_.southbound_latency,
-      [this, sw, r = std::move(rule), cb = std::move(on_result)]() mutable {
-        const bool ok = switch_at(sw)->try_install(std::move(r));
+      [this, sw, epoch = fence_epoch_, r = std::move(rule),
+       cb = std::move(on_result)]() mutable {
+        const bool ok =
+            op_admitted(sw, epoch) && switch_at(sw)->try_install(std::move(r));
         if (roll_control_drop()) {
           // The rule may be installed but the controller never learns; the
           // timeout reports failure and the caller's rollback-by-cookie
@@ -133,8 +155,10 @@ void Controller::install_group_checked(topo::NodeId sw,
   }
   network_.simulator().schedule_in(
       config_.southbound_latency,
-      [this, sw, g = std::move(group), cb = std::move(on_result)]() mutable {
-        const bool ok = switch_at(sw)->try_install_group(std::move(g));
+      [this, sw, epoch = fence_epoch_, g = std::move(group),
+       cb = std::move(on_result)]() mutable {
+        const bool ok = op_admitted(sw, epoch) &&
+                        switch_at(sw)->try_install_group(std::move(g));
         if (roll_control_drop()) {
           network_.simulator().schedule_in(
               remaining_timeout(), [cb = std::move(cb)] { cb(false); });
@@ -172,7 +196,7 @@ switchd::TableStats Controller::aggregate_table_stats() {
 void Controller::subscribe_port_status() {
   for (const topo::NodeId sw : graph().switches()) {
     switch_at(sw)->set_detection_latency(config_.detection_latency);
-    switch_at(sw)->set_port_status_handler(
+    switch_at(sw)->add_port_status_handler(
         [this](topo::NodeId node, topo::PortId port, bool up) {
           network_.simulator().schedule_in(
               config_.southbound_latency,

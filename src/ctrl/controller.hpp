@@ -138,6 +138,25 @@ class Controller {
     return control_drops_;
   }
 
+  // --- controller fencing ----------------------------------------------------
+  //
+  // Every mutating southbound op carries the controller's fence epoch (its
+  // journal epoch; see SdnSwitch::admit_epoch).  A switch that has seen a
+  // newer epoch refuses the op and on_fenced_out() fires: this controller
+  // has been deposed by a failover it did not notice.  Epoch 0 (the
+  // default for plain controllers) is always admitted, so nothing changes
+  // for single-controller deployments.
+
+  std::uint64_t fence_epoch() const noexcept { return fence_epoch_; }
+  void set_fence_epoch(std::uint64_t epoch) noexcept { fence_epoch_ = epoch; }
+
+  /// A switch refused one of our ops as stale: another controller with a
+  /// newer epoch owns the tables now.  Default ignores it; the MC steps
+  /// down (see MimicController::on_fenced_out).
+  virtual void on_fenced_out(topo::NodeId sw);
+
+  std::uint64_t fenced_ops() const noexcept { return fenced_ops_; }
+
   /// Route packet-ins from every switch to on_packet_in().
   void subscribe_packet_in();
 
@@ -174,6 +193,10 @@ class Controller {
   }
 
  private:
+  /// Fence gate for one mutating op arriving at `sw` stamped with `epoch`
+  /// (captured when the op was sent).  Counts + reports a refusal.
+  bool op_admitted(topo::NodeId sw, std::uint64_t epoch);
+
   /// Barrier timeout remaining after the request leg already spent one
   /// southbound latency.
   sim::SimTime remaining_timeout() const noexcept {
@@ -197,6 +220,8 @@ class Controller {
   ControllerConfig config_;
   topo::PathEngine paths_;
   std::unordered_map<topo::NodeId, std::uint64_t> l3_signatures_;
+  std::uint64_t fence_epoch_ = 0;
+  std::uint64_t fenced_ops_ = 0;
 
   // Install accounting and the chaos drop knob.  Installs are issued from
   // the single-threaded event loop today, but introspection (benchmarks,

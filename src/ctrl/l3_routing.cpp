@@ -203,6 +203,17 @@ void L3RoutingApp::install(Controller& controller, CfLabelPolicy policy) {
   }
 }
 
+void L3RoutingApp::adopt(Controller& controller) {
+  const auto hosts = controller.graph().hosts();
+  NextHopScratch scratch;
+  auto& signatures = controller.l3_signatures();
+  signatures.clear();
+  for (const topo::NodeId sw : controller.graph().switches()) {
+    signatures[sw] =
+        switch_signature(controller, sw, hosts, kNoFailures, scratch);
+  }
+}
+
 RerouteStats L3RoutingApp::reroute_around(
     Controller& controller, CfLabelPolicy policy,
     const std::unordered_set<topo::LinkId>& failed) {

@@ -65,6 +65,14 @@ class L3RoutingApp {
   static void install(Controller& controller,
                       CfLabelPolicy policy = fixed_label_policy);
 
+  /// Adopt rules already installed by a predecessor: fill the controller's
+  /// signature map (no-failure next hops) without touching any switch.  A
+  /// standby taking over uses this -- the fabric still holds the old
+  /// primary's L3 rules, and reinstalling identical rules would collide;
+  /// the first reroute_around after a real failure diffs against these
+  /// signatures and churns only what changed.
+  static void adopt(Controller& controller);
+
   /// Fast failover for common flows: recompute every switch's next-hop
   /// signature under the new failure set and reinstall rules *only* on the
   /// switches whose signature changed (or whose table lost its L3 rules,

@@ -35,13 +35,17 @@ void SdnSwitch::receive(const net::Packet& packet, topo::PortId in_port) {
 }
 
 void SdnSwitch::on_port_status(topo::PortId port, bool up) {
-  if (!port_status_) return;
+  if (port_status_.empty()) return;
   // The PHY event is debounced for detection_latency_ before the async
   // notification leaves the switch; the subscriber adds the control-channel
-  // latency on top.
+  // latency on top.  One debounce event fans out to every subscriber, in
+  // subscription order, so adding a standby never perturbs the primary's
+  // event sequence.
   network_->simulator().schedule_in(
       detection_latency_, [this, port, up] {
-        if (port_status_) port_status_(node_, port, up);
+        for (const auto& handler : port_status_) {
+          if (handler) handler(node_, port, up);
+        }
       });
 }
 

@@ -60,9 +60,12 @@ class SdnSwitch : public net::Device {
 
   /// Subscribe to async port-status notifications.  The switch raises them
   /// `detection_latency` after the PHY event (loss-of-signal debounce); the
-  /// control-channel latency on top is the subscriber's business.
-  void set_port_status_handler(PortStatusHandler handler) {
-    port_status_ = std::move(handler);
+  /// control-channel latency on top is the subscriber's business.  Like an
+  /// OpenFlow switch with several controller connections, every subscriber
+  /// hears every event -- a warm standby that took over still shares the
+  /// switch with its deposed predecessor until fencing retires it.
+  void add_port_status_handler(PortStatusHandler handler) {
+    port_status_.push_back(std::move(handler));
   }
   void set_detection_latency(sim::SimTime latency) noexcept {
     detection_latency_ = latency;
@@ -107,6 +110,35 @@ class SdnSwitch : public net::Device {
 
   std::uint64_t dumps_served() const noexcept { return dumps_served_; }
 
+  // --- controller fencing ----------------------------------------------------
+  //
+  // The OpenFlow role-request generation_id analog: every mutating op a
+  // controller sends is stamped with its journal epoch.  The switch keeps
+  // the highest epoch it has seen and refuses anything older, so a zombie
+  // ex-primary (a controller that lost a failover it never noticed) cannot
+  // mutate tables the new primary now owns.
+
+  /// Gate for one mutating op stamped with `epoch`: ops at or above the
+  /// recorded fence are admitted (and raise it); older ops are refused and
+  /// counted.  Epoch 0 is the pre-fencing default and always admitted.
+  bool admit_epoch(std::uint64_t epoch) {
+    if (epoch < fence_epoch_) {
+      ++stale_ops_rejected_;
+      return false;
+    }
+    fence_epoch_ = epoch;
+    return true;
+  }
+  /// Raise the fence without an op (the new primary does this for every
+  /// switch it resyncs during takeover, before reissuing any rules).
+  void raise_fence(std::uint64_t epoch) {
+    if (epoch > fence_epoch_) fence_epoch_ = epoch;
+  }
+  std::uint64_t fence_epoch() const noexcept { return fence_epoch_; }
+  std::uint64_t stale_ops_rejected() const noexcept {
+    return stale_ops_rejected_;
+  }
+
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -124,12 +156,14 @@ class SdnSwitch : public net::Device {
   const crypto::CostModel& costs_;
   FlowTable table_;
   PacketInHandler packet_in_;
-  PortStatusHandler port_status_;
+  std::vector<PortStatusHandler> port_status_;
   /// PHY loss-of-signal debounce before the notification leaves the switch.
   sim::SimTime detection_latency_ = sim::microseconds(500);
   double install_fault_probability_ = 0.0;
   Rng install_fault_rng_{0};
   std::uint64_t installs_rejected_ = 0;
+  std::uint64_t fence_epoch_ = 0;
+  std::uint64_t stale_ops_rejected_ = 0;
   mutable std::uint64_t dumps_served_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;

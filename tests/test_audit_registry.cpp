@@ -43,15 +43,16 @@ TEST(AuditRegistry, RunsAllChecksCleanOnHealthyFabric) {
   EXPECT_EQ(report.first_violation(), "");
 
   const auto ids = audit::Registry::instance().ids();
-  ASSERT_EQ(ids.size(), 8u);
+  ASSERT_EQ(ids.size(), 9u);
   EXPECT_EQ(ids[0], "FT-1");
   EXPECT_EQ(ids[1], "CA-1");
   EXPECT_EQ(ids[2], "PE-1");
   EXPECT_EQ(ids[3], "FD-1");
   EXPECT_EQ(ids[4], "RC-1");
-  EXPECT_EQ(ids[5], "SIM-2");
-  EXPECT_EQ(ids[6], "SIM-3");
-  EXPECT_EQ(ids[7], "AC-1");
+  EXPECT_EQ(ids[5], "RC-2");
+  EXPECT_EQ(ids[6], "SIM-2");
+  EXPECT_EQ(ids[7], "SIM-3");
+  EXPECT_EQ(ids[8], "AC-1");
 
   // Every check walked real state.
   EXPECT_GT(report.check("FT-1").items_checked, 0u);
