@@ -23,6 +23,18 @@ constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
 constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
 constexpr char kCompactScratch[] = "compact.tmp";
 
+/// Engine-owned segment files are exactly "seg-<digits>".  Anything else
+/// in the backend (a stray file, an editor backup) is not ours: adopting
+/// it would corrupt segment ordering, and parsing its name as an index
+/// would read past short strings.
+bool is_segment_name(const std::string& name) {
+  if (name.size() <= 4 || name.compare(0, 4, "seg-") != 0) return false;
+  for (std::size_t i = 4; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
 constexpr std::array<std::uint32_t, 256> make_crc32_table() {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
@@ -307,11 +319,19 @@ std::string FileBackend::path_of(const std::string& name) const {
   return dir_ + "/" + name;
 }
 
+void FileBackend::sync_dir() const {
+  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  MIC_ASSERT_MSG(fd >= 0, "journal directory open-for-fsync failed");
+  MIC_ASSERT_MSG(::fsync(fd) == 0, "journal directory fsync failed");
+  ::close(fd);
+}
+
 void FileBackend::create(const std::string& name) {
   const int fd = ::open(path_of(name).c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   MIC_ASSERT_MSG(fd >= 0, "journal segment create failed");
   ::close(fd);
+  sync_dir();
 }
 
 void FileBackend::append(const std::string& name, const std::uint8_t* data,
@@ -339,11 +359,16 @@ void FileBackend::sync(const std::string& name) {
 void FileBackend::rename(const std::string& from, const std::string& to) {
   MIC_ASSERT_MSG(::rename(path_of(from).c_str(), path_of(to).c_str()) == 0,
                  "journal segment rename failed");
+  // File fsync makes the bytes durable; only the directory fsync makes the
+  // *name* durable.  Without it the compaction atomic-swap rename (or a
+  // just-created segment) can vanish across power loss.
+  sync_dir();
 }
 
 void FileBackend::remove(const std::string& name) {
   MIC_ASSERT_MSG(::unlink(path_of(name).c_str()) == 0,
                  "journal segment unlink failed");
+  sync_dir();
 }
 
 std::vector<std::string> FileBackend::list() const {
@@ -467,15 +492,16 @@ JournalStore::JournalStore(StorageBackend& backend, JournalStoreOptions options)
   MIC_ASSERT(options_.segment_rotate_bytes > 0);
   // Adopt any segments already present (a restarted engine over the same
   // backend); a leftover compaction scratch file is an aborted compaction
-  // and is discarded.
+  // and is discarded.  Files that are not "seg-<digits>" are not ours and
+  // are left alone -- never parsed as segments.
   for (const std::string& name : backend_.list()) {
     if (name == kCompactScratch) {
       backend_.remove(name);
       continue;
     }
+    if (!is_segment_name(name)) continue;
     segments_.push_back(name);
-    const std::uint64_t index =
-        std::strtoull(name.c_str() + 4, nullptr, 10);  // "seg-NNNN..."
+    const std::uint64_t index = std::strtoull(name.c_str() + 4, nullptr, 10);
     next_segment_index_ = std::max(next_segment_index_, index + 1);
   }
   if (segments_.empty()) {
@@ -559,14 +585,19 @@ void JournalStore::compact(const std::vector<JournalRecord>& records) {
     scratch_bytes += frame.size();
   }
   backend_.sync(kCompactScratch);
-  // Atomic swap: the scratch becomes a fresh segment *after* the old ones
-  // are gone, so a reader never sees snapshot + stale history together.
-  // (Crash ordering: losing the scratch re-runs compaction; a leftover
-  // scratch is discarded at engine startup.)
-  for (const std::string& name : segments_) backend_.remove(name);
-  segments_.clear();
+  // Crash-safe swap ordering: the synced scratch becomes the fresh
+  // highest-index segment *before* the old segments go.  A crash before
+  // the rename leaves the old log intact (the leftover scratch is
+  // discarded at startup and compaction simply re-runs); a crash after it
+  // leaves old history followed by the snapshot segment, which replay()
+  // folds to the same image -- snapshot records overwrite by channel id,
+  // and a channel torn down in the old history is absent from the
+  // snapshot, so nothing resurrects.  At no point is the only copy of the
+  // committed log a file the next startup would discard.
   const std::string fresh = segment_name(next_segment_index_++);
   backend_.rename(kCompactScratch, fresh);
+  for (const std::string& name : segments_) backend_.remove(name);
+  segments_.clear();
   segments_.push_back(fresh);
   active_bytes_ = scratch_bytes;
   unsynced_records_ = 0;
@@ -577,7 +608,9 @@ void JournalStore::compact(const std::vector<JournalRecord>& records) {
 JournalLoadResult JournalStore::load() const {
   JournalLoadResult result;
   for (const std::string& name : backend_.list()) {
-    if (name == kCompactScratch) continue;  // aborted compaction leftovers
+    // Skip aborted-compaction scratch and any file that is not one of our
+    // segments: stray bytes must never be decoded as journal history.
+    if (!is_segment_name(name)) continue;
     const std::vector<std::uint8_t> bytes = backend_.read(name);
     ++result.segments_scanned;
     std::size_t offset = 0;

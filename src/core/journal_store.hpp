@@ -94,6 +94,8 @@ class StorageBackend {
 
 /// Real files under a directory.  Failures of the underlying syscalls are
 /// programming/environment errors for this simulation and assert.
+/// Namespace mutations (create/rename/remove) fsync the directory too:
+/// a new or renamed name is not durable until its directory entry is.
 class FileBackend final : public StorageBackend {
  public:
   /// `dir` must exist and be writable.
@@ -112,6 +114,8 @@ class FileBackend final : public StorageBackend {
 
  private:
   std::string path_of(const std::string& name) const;
+  /// fsync the backing directory, making create/rename/remove durable.
+  void sync_dir() const;
 
   std::string dir_;
 };

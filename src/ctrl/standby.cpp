@@ -14,6 +14,12 @@ StandbyController::StandbyController(core::MimicController& primary,
           primary.network(), primary.addressing(), primary.seed(),
           primary.mic_config(), primary.config())) {}
 
+StandbyController::~StandbyController() {
+  // take_over() already detached; a follower that dies first must too, or
+  // the primary's next commit calls into freed memory.
+  if (started_ && !active_) primary_.journal().set_commit_listener(nullptr);
+}
+
 void StandbyController::start() {
   if (started_) return;
   started_ = true;

@@ -52,6 +52,11 @@ class StandbyController {
                     core::ControllerDirectory& directory,
                     StandbyOptions options = {});
 
+  /// Detaches the commit listener from the primary's journal if this
+  /// standby is still subscribed (started but never took over), so a
+  /// primary that outlives its standby never invokes a dangling callback.
+  ~StandbyController();
+
   /// Subscribe to the primary's commit stream (already-committed records
   /// are caught up immediately, lagged by replication_lag) and begin the
   /// heartbeat probe loop (unless heartbeat_interval is 0).

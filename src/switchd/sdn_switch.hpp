@@ -120,7 +120,11 @@ class SdnSwitch : public net::Device {
 
   /// Gate for one mutating op stamped with `epoch`: ops at or above the
   /// recorded fence are admitted (and raise it); older ops are refused and
-  /// counted.  Epoch 0 is the pre-fencing default and always admitted.
+  /// counted.  Epoch 0 (the pre-fencing default) is admitted only while
+  /// the fence has never been raised — after any failover fences a switch,
+  /// an epoch-0 controller is refused like any other stale generation.
+  /// That is the point: a zombie ex-primary that never learned its epoch
+  /// must not mutate tables the new primary owns.
   bool admit_epoch(std::uint64_t epoch) {
     if (epoch < fence_epoch_) {
       ++stale_ops_rejected_;

@@ -171,6 +171,32 @@ TEST(StandbyReplication, CommitBoundaryGatesShippingAndLapsesSkewTheDisk) {
             bed.fabric.mc().journal().size());
 }
 
+TEST(StandbyReplication, DestroyedFollowerDetachesFromThePrimaryStream) {
+  // A follower that dies while the primary lives must unhook its commit
+  // listener: the primary's next committed record would otherwise call
+  // into freed memory (the ASan tier enforces the "freed" part).
+  Fabric fabric;
+  SimBackend backend;
+  JournalStore store(backend);
+  fabric.mc().journal().attach_store(&store);
+  ControllerDirectory directory(fabric.mc());
+  MicServer server(fabric.host(12), 7000, fabric.rng());
+  server.set_on_channel([](core::MicServerChannel&) {});
+  {
+    StandbyController standby(fabric.mc(), directory, follow_only());
+    standby.start();
+  }
+  MicChannelOptions o;
+  o.responder_ip = fabric.ip(12);
+  o.responder_port = 7000;
+  MicChannel c(fabric.host(0), directory, o, fabric.rng());
+  fabric.simulator().run_until();
+  EXPECT_TRUE(c.ready());
+  // The journal still commits and counts shipments; there is simply no
+  // listener left to deliver them to.
+  EXPECT_GE(fabric.mc().journal().records_shipped(), 1u);
+}
+
 // --- takeover ----------------------------------------------------------------
 
 TEST(Failover, MissedHeartbeatsPromoteTheStandby) {
@@ -288,6 +314,13 @@ TEST(Failover, DoubleFailoverNeverReusesIds) {
   c4->close();
   bed.fabric.simulator().run_until();
   EXPECT_TRUE(bed.fabric.simulator().idle());
+  // `next` owns the chain's final controller and dies before c1-c3:
+  // destroy the channels while that controller is still alive, or their
+  // destructors resolve mc() through the directory into freed memory.
+  c4.reset();
+  c3.reset();
+  c2.reset();
+  c1.reset();
 }
 
 TEST(Failover, StaleReplicaSweepsAndClientsReestablish) {

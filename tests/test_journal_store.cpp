@@ -487,6 +487,150 @@ TEST(JournalStoreEngine, SegmentsRotateAndCompactionSwapsAtomically) {
   EXPECT_EQ(store.load().records.size(), live.size() + 1);
 }
 
+/// Forwards every op to an inner SimBackend while recording it, so a test
+/// can re-apply an op prefix to a fresh backend and observe the exact
+/// on-disk state a crash at that point would leave behind.
+class RecordingBackend final : public StorageBackend {
+ public:
+  struct Op {
+    enum class Kind : std::uint8_t { kCreate, kAppend, kSync, kRename, kRemove };
+    Kind kind;
+    std::string name;
+    std::string to;                   // kRename only
+    std::vector<std::uint8_t> data;   // kAppend only
+  };
+
+  void create(const std::string& name) override {
+    ops.push_back({Op::Kind::kCreate, name, {}, {}});
+    inner.create(name);
+  }
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t size) override {
+    ops.push_back({Op::Kind::kAppend, name, {}, {data, data + size}});
+    inner.append(name, data, size);
+  }
+  void sync(const std::string& name) override {
+    ops.push_back({Op::Kind::kSync, name, {}, {}});
+    inner.sync(name);
+  }
+  void rename(const std::string& from, const std::string& to) override {
+    ops.push_back({Op::Kind::kRename, from, to, {}});
+    inner.rename(from, to);
+  }
+  void remove(const std::string& name) override {
+    ops.push_back({Op::Kind::kRemove, name, {}, {}});
+    inner.remove(name);
+  }
+  std::vector<std::string> list() const override { return inner.list(); }
+  std::vector<std::uint8_t> read(const std::string& name) const override {
+    return inner.read(name);
+  }
+
+  /// Rebuild the backend state after the first `count` ops, then power-cut.
+  static SimBackend replay_and_crash(const std::vector<Op>& ops,
+                                     std::size_t count) {
+    SimBackend backend;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Op& op = ops[i];
+      switch (op.kind) {
+        case Op::Kind::kCreate: backend.create(op.name); break;
+        case Op::Kind::kAppend:
+          backend.append(op.name, op.data.data(), op.data.size());
+          break;
+        case Op::Kind::kSync: backend.sync(op.name); break;
+        case Op::Kind::kRename: backend.rename(op.name, op.to); break;
+        case Op::Kind::kRemove: backend.remove(op.name); break;
+      }
+    }
+    backend.crash();
+    return backend;
+  }
+
+  SimBackend inner;
+  std::vector<Op> ops;
+};
+
+TEST(JournalStoreEngine, CompactionSurvivesACrashAtEveryOp) {
+  // The committed image must survive power loss at *any* point inside
+  // compact()'s create/append/sync/rename/remove sequence.  The regression
+  // this pins down: removing the old segments before renaming the scratch
+  // into place left a window where the only copy of the log was a file the
+  // next startup discards.
+  RecordingBackend recorder;
+  JournalStoreOptions options;
+  options.segment_rotate_bytes = 512;  // several segments => several removes
+  JournalStore store(recorder, options);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    store.append(sample_record(seq, JournalRecordType::kEstablish));
+  }
+  // Tear down record 2's channel so the old history holds a dead channel:
+  // a crash-recovered log must not resurrect it.
+  JournalRecord teardown = sample_record(5, JournalRecordType::kTeardown);
+  teardown.channel = sample_record(2, JournalRecordType::kEstablish).channel;
+  store.append(teardown);
+  ASSERT_GT(store.segment_count(), 1u);
+
+  const auto fold = [](const JournalLoadResult& loaded) {
+    ChannelJournal journal;
+    for (const JournalRecord& record : loaded.records) {
+      journal.adopt_record(record);
+    }
+    return journal.replay();
+  };
+  const JournalImage expected = fold(store.load());
+  ASSERT_EQ(expected.channels.size(), 3u);
+
+  std::vector<JournalRecord> live;
+  for (const auto& [id, state] : expected.channels) {
+    JournalRecord snapshot;
+    snapshot.type = JournalRecordType::kSnapshot;
+    snapshot.channel = id;
+    snapshot.state = state;
+    snapshot.next_channel = expected.next_channel;
+    snapshot.next_group = expected.next_group;
+    live.push_back(std::move(snapshot));
+  }
+  const std::size_t ops_before = recorder.ops.size();
+  store.compact(live);
+
+  for (std::size_t cut = ops_before; cut <= recorder.ops.size(); ++cut) {
+    SimBackend at_crash =
+        RecordingBackend::replay_and_crash(recorder.ops, cut);
+    JournalStore reopened(at_crash, options);
+    const JournalImage image = fold(reopened.load());
+    ASSERT_EQ(image.channels.size(), expected.channels.size())
+        << "cut=" << cut;
+    for (const auto& [id, state] : expected.channels) {
+      ASSERT_TRUE(image.channels.contains(id)) << "cut=" << cut;
+      EXPECT_TRUE(structurally_equal(image.channels.at(id), state))
+          << "cut=" << cut;
+    }
+    EXPECT_EQ(image.next_channel, expected.next_channel) << "cut=" << cut;
+    EXPECT_EQ(image.next_group, expected.next_group) << "cut=" << cut;
+  }
+}
+
+TEST(JournalStoreEngine, StrayFilesAreNeverAdoptedAsSegments) {
+  // Files the engine did not write -- wrong prefix, non-digit suffix, or
+  // names too short to even hold "seg-" -- must not corrupt segment
+  // accounting or be decoded as journal history.
+  SimBackend backend;
+  const std::uint8_t junk[] = {0xde, 0xad, 0xbe, 0xef};
+  for (const char* name : {"x", "seg", "seg-", "seg-12ab", "notes.txt"}) {
+    backend.create(name);
+    backend.append(name, junk, sizeof(junk));
+    backend.sync(name);
+  }
+  JournalStore store(backend);
+  store.append(sample_record(1, JournalRecordType::kEstablish));
+  const JournalLoadResult loaded = store.load();
+  EXPECT_TRUE(loaded.clean) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), 1u);
+  expect_equal_records(loaded.records[0],
+                       sample_record(1, JournalRecordType::kEstablish));
+  EXPECT_EQ(store.segment_count(), 1u);
+}
+
 TEST(JournalStoreEngine, CrashRecoveryDegradesToEndOfLog) {
   SimBackend backend;
   JournalStoreOptions options;
